@@ -1,0 +1,87 @@
+"""Extension study: the tiered (3/5/7-SETs) multi-mode RRM.
+
+The paper restricts its RRM to two write modes "for implementation
+simplicity" (Section IV-A) and leaves more modes as an open direction.
+This bench quantifies that direction: warm regions (below hot_threshold
+but above warm_threshold) use the intermediate 5-SETs mode — 850ns
+instead of 1150ns, with ~104s retention whose refresh burden is two
+orders of magnitude lighter than the fast tier's.
+
+Expected outcome: a modest additional speedup over the two-mode RRM
+(slow writes shrink) at essentially unchanged lifetime.
+"""
+
+from benchmarks.common import write_report
+from repro.analysis.report import format_table
+from repro.core.multimode import TieredRetentionMonitor, TieredRRMConfig
+from repro.sim.schemes import Scheme
+from repro.sim.system import System
+from repro.utils.mathx import geomean
+
+WORKLOADS = ["GemsFDTD", "mcf"]
+
+
+def _run_tiered(config, workload):
+    tiered_config = TieredRRMConfig(
+        n_sets=config.rrm.n_sets,
+        n_ways=config.rrm.n_ways,
+        hot_threshold=config.rrm.hot_threshold,
+        refresh_slack_fraction=config.rrm.refresh_slack_fraction,
+    )
+    system = System(
+        config, workload, Scheme.RRM,
+        monitor_factory=lambda modes, sim, controller: TieredRetentionMonitor(
+            tiered_config, modes, sim=sim, controller=controller
+        ),
+    )
+    result = system.run()
+    return result, system.rrm
+
+
+def bench_ext_multimode(sweep, benchmark):
+    def run_all():
+        tiered = {}
+        for workload in WORKLOADS:
+            tiered[workload] = _run_tiered(sweep.base, workload)
+        sweep.ensure(WORKLOADS, [Scheme.STATIC_7, Scheme.RRM])
+        return tiered
+
+    tiered = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    two_mode_speedups, tiered_speedups = [], []
+    for workload in WORKLOADS:
+        baseline = sweep.get(workload, Scheme.STATIC_7)
+        two_mode = sweep.get(workload, Scheme.RRM)
+        tiered_result, monitor = tiered[workload]
+        two_mode_speedups.append(two_mode.ipc / baseline.ipc)
+        tiered_speedups.append(tiered_result.ipc / baseline.ipc)
+        mid_writes = tiered_result.writes - (
+            tiered_result.fast_writes + tiered_result.slow_writes
+        )
+        rows.append([
+            workload,
+            two_mode.ipc / baseline.ipc,
+            tiered_result.ipc / baseline.ipc,
+            f"{tiered_result.fast_writes / tiered_result.writes:.0%}",
+            f"{mid_writes / tiered_result.writes:.0%}",
+            two_mode.lifetime_years,
+            tiered_result.lifetime_years,
+        ])
+
+    write_report(
+        "ext_multimode",
+        format_table(
+            ["workload", "RRM x S7", "tiered x S7", "fast", "mid",
+             "RRM life(y)", "tiered life(y)"],
+            rows,
+            title="Extension: two-mode RRM vs tiered 3/5/7 RRM",
+        ),
+    )
+
+    # The tiered monitor must not lose performance, and its lifetime must
+    # stay in the same band as the two-mode RRM's.
+    assert geomean(tiered_speedups) > geomean(two_mode_speedups) * 0.97
+    for workload, (result, _) in tiered.items():
+        two_mode = sweep.get(workload, Scheme.RRM)
+        assert result.lifetime_years > two_mode.lifetime_years * 0.7, workload

@@ -1,0 +1,42 @@
+"""Paper Figure 2: performance of the static write schemes.
+
+Per-workload IPC of Static-7 .. Static-3, normalised to Static-7-SETs.
+Shape targets: monotonically higher IPC with fewer SETs; Static-3 clearly
+fastest (the paper reports it beating Static-4 by 15.6% geomean).
+"""
+
+from benchmarks.common import (
+    workloads_under_test,
+    write_report,
+)
+from repro.analysis.report import performance_report
+from repro.sim.runner import ExperimentRunner
+from repro.sim.schemes import Scheme, static_schemes
+
+
+def bench_fig02_static_performance(sweep, benchmark):
+    workloads = workloads_under_test()
+    schemes = static_schemes()
+    benchmark.pedantic(
+        lambda: sweep.ensure(workloads, schemes), rounds=1, iterations=1
+    )
+
+    runner = ExperimentRunner(sweep.base, workloads=workloads, schemes=schemes)
+    runner.results = {
+        (w, s): sweep.get(w, s) for w in workloads for s in schemes
+    }
+    write_report(
+        "fig02_static_performance",
+        performance_report(
+            runner, schemes,
+            title="Figure 2: static-scheme IPC normalised to Static-7-SETs",
+        ),
+    )
+
+    # Monotonicity of the geomean: fewer SETs -> faster.
+    geomeans = [runner.geomean_speedup(s, Scheme.STATIC_7) for s in schemes]
+    assert geomeans == sorted(geomeans), f"not monotonic: {geomeans}"
+    # Static-3 beats Static-4 by a visible margin.
+    s3 = runner.geomean_speedup(Scheme.STATIC_3, Scheme.STATIC_7)
+    s4 = runner.geomean_speedup(Scheme.STATIC_4, Scheme.STATIC_7)
+    assert s3 > s4 > 1.0

@@ -1,0 +1,46 @@
+"""Paper Figure 4: normalised wear of the static schemes, split by source.
+
+Wear per 5 virtual seconds, split into demand writes vs. (global) refresh
+rewrites, normalised to Static-7's total. Shape target: refresh wear
+becomes the dominant component for Static-4 and Static-3.
+"""
+
+from benchmarks.common import workloads_under_test, write_report
+from repro.analysis.report import wear_report
+from repro.sim.runner import ExperimentRunner
+from repro.sim.schemes import Scheme, static_schemes
+
+
+def bench_fig04_static_wear(sweep, benchmark):
+    workloads = workloads_under_test()
+    schemes = static_schemes()
+    benchmark.pedantic(
+        lambda: sweep.ensure(workloads, schemes), rounds=1, iterations=1
+    )
+
+    runner = ExperimentRunner(sweep.base, workloads=workloads, schemes=schemes)
+    runner.results = {
+        (w, s): sweep.get(w, s) for w in workloads for s in schemes
+    }
+    write_report(
+        "fig04_static_wear",
+        wear_report(
+            runner, schemes,
+            title=("Figure 4: wear per 5s window split write/refresh, "
+                   "normalised to Static-7-SETs total"),
+        ),
+    )
+
+    def refresh_share(scheme):
+        shares = []
+        for workload in workloads:
+            wear = sweep.get(workload, scheme).wear
+            shares.append(wear.refresh_rate / wear.total_rate)
+        return sum(shares) / len(shares)
+
+    # Refresh share of wear grows monotonically as SETs fall, and
+    # dominates for Static-3 (paper: dominant for Static-4 and Static-3).
+    shares = [refresh_share(s) for s in schemes]
+    assert shares == sorted(shares), shares
+    assert shares[-1] > 0.5, f"Static-3 refresh wear not dominant: {shares[-1]}"
+    assert shares[0] < 0.1, f"Static-7 refresh wear should be negligible: {shares[0]}"

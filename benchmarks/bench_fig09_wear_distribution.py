@@ -1,0 +1,62 @@
+"""Paper Figure 9: wear distribution including the RRM's refresh classes.
+
+Splits wear into demand writes, RRM selective refreshes and global
+refreshes. Shape targets: for the RRM scheme both refresh classes are a
+small fraction of its total wear (the paper's Section VI-B conclusion
+that the RRM "does a good job identifying and refreshing the hot memory
+region that is limited in size").
+"""
+
+from benchmarks.common import workloads_under_test, write_report
+from repro.analysis.report import format_table, wear_report
+from repro.sim.runner import ExperimentRunner
+from repro.sim.schemes import Scheme, all_schemes
+
+
+def bench_fig09_wear_distribution(sweep, benchmark):
+    workloads = workloads_under_test()
+    schemes = all_schemes()
+    benchmark.pedantic(
+        lambda: sweep.ensure(workloads, schemes), rounds=1, iterations=1
+    )
+
+    runner = ExperimentRunner(sweep.base, workloads=workloads, schemes=schemes)
+    runner.results = {
+        (w, s): sweep.get(w, s) for w in workloads for s in schemes
+    }
+
+    text = wear_report(
+        runner, schemes,
+        title=("Figure 9: wear per 5s window (write / RRM refresh / global "
+               "refresh), normalised to Static-7-SETs total"),
+    )
+
+    # Per-workload RRM wear split detail.
+    rows = []
+    for workload in workloads:
+        wear = sweep.get(workload, Scheme.RRM).wear
+        rows.append([
+            workload,
+            wear.demand_rate,
+            wear.rrm_fast_refresh_rate,
+            wear.rrm_slow_refresh_rate,
+            wear.global_refresh_rate,
+            f"{wear.rrm_refresh_rate / wear.total_rate:.2%}",
+        ])
+    text += "\n\n" + format_table(
+        ["workload", "demand/s", "rrm fast/s", "rrm slow/s",
+         "global/s", "rrm share"],
+        rows,
+        title="RRM wear split per workload (block writes per virtual second)",
+    )
+    write_report("fig09_wear_distribution", text)
+
+    # Shape: RRM refresh wear is a minor component of RRM total wear.
+    for workload in workloads:
+        wear = sweep.get(workload, Scheme.RRM).wear
+        assert wear.rrm_refresh_rate < 0.35 * wear.total_rate, workload
+    # Static-3's refresh wear dwarfs RRM's entire wear.
+    for workload in workloads:
+        s3 = sweep.get(workload, Scheme.STATIC_3).wear
+        rrm = sweep.get(workload, Scheme.RRM).wear
+        assert s3.refresh_rate > 3 * rrm.total_rate, workload

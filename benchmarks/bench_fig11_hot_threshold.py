@@ -1,0 +1,93 @@
+"""Paper Figure 11: aggressiveness control through hot_threshold.
+
+Sweeps hot_threshold over {8, 16, 32, 64} on the sensitivity workloads.
+Shape targets (paper Section VI-D): performance falls and lifetime rises
+as the threshold increases; threshold 8 buys extra performance (paper:
++9.0% over the default 16) while keeping a multi-year lifetime.
+"""
+
+from benchmarks.common import (
+    SENSITIVITY_WORKLOADS,
+    write_report,
+)
+from repro.analysis.report import format_table
+from repro.sim.schemes import Scheme
+from repro.utils.mathx import geomean
+
+THRESHOLDS = [8, 16, 32, 64]
+
+
+def bench_fig11_hot_threshold(sweep, benchmark):
+    workloads = SENSITIVITY_WORKLOADS
+
+    def run_variants():
+        for threshold in THRESHOLDS:
+            if threshold == sweep.base.rrm.hot_threshold:
+                variant = "default"
+            else:
+                variant = f"threshold={threshold}"
+                sweep.register_variant(
+                    variant,
+                    sweep.base.with_rrm(
+                        sweep.base.rrm.with_hot_threshold(threshold)
+                    ),
+                )
+            sweep.ensure(workloads, [Scheme.RRM], variant)
+        sweep.ensure(workloads, [Scheme.STATIC_7, Scheme.STATIC_3])
+
+    benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    def cells(threshold):
+        variant = (
+            "default" if threshold == sweep.base.rrm.hot_threshold
+            else f"threshold={threshold}"
+        )
+        return [sweep.get(w, Scheme.RRM, variant) for w in workloads]
+
+    baselines = [sweep.get(w, Scheme.STATIC_7) for w in workloads]
+    fast = [sweep.get(w, Scheme.STATIC_3) for w in workloads]
+
+    rows = []
+    speedups = {}
+    lifetimes = {}
+    for threshold in THRESHOLDS:
+        results = cells(threshold)
+        speedups[threshold] = geomean(
+            [r.ipc / b.ipc for r, b in zip(results, baselines)]
+        )
+        lifetimes[threshold] = geomean([r.lifetime_years for r in results])
+        fast_share = sum(r.fast_write_fraction for r in results) / len(results)
+        rows.append([
+            f"hot_threshold={threshold}",
+            speedups[threshold],
+            lifetimes[threshold],
+            f"{fast_share:.0%}",
+        ])
+    rows.append([
+        "Static-3-SETs",
+        geomean([f.ipc / b.ipc for f, b in zip(fast, baselines)]),
+        geomean([f.lifetime_years for f in fast]),
+        "100%",
+    ])
+
+    write_report(
+        "fig11_hot_threshold",
+        format_table(
+            ["configuration", "speedup vs S7", "lifetime (y)", "fast writes"],
+            rows,
+            title=("Figure 11: hot_threshold sweep "
+                   f"(geomean over {', '.join(workloads)})"),
+        ),
+    )
+
+    # Shape: speedup monotone non-increasing, lifetime non-decreasing.
+    speedup_series = [speedups[t] for t in THRESHOLDS]
+    lifetime_series = [lifetimes[t] for t in THRESHOLDS]
+    assert all(
+        a >= b * 0.995 for a, b in zip(speedup_series, speedup_series[1:])
+    ), speedup_series
+    assert all(
+        a <= b * 1.02 for a, b in zip(lifetime_series, lifetime_series[1:])
+    ), lifetime_series
+    # Threshold 8 is meaningfully faster than 64.
+    assert speedups[8] > speedups[64]

@@ -1,0 +1,75 @@
+"""Paper Figure 12: sensitivity to the RRM's LLC coverage rate.
+
+Varies only the set count to get 2x / 4x / 8x / 16x LLC coverage. Shape
+targets (paper Section VI-E): 2x coverage performs considerably worse
+(set contention evicts hot entries before they pay off); 8x and 16x add
+essentially nothing over the default 4x.
+"""
+
+from benchmarks.common import SENSITIVITY_WORKLOADS, write_report
+from repro.analysis.report import format_table
+from repro.sim.schemes import Scheme
+from repro.utils.mathx import geomean
+from repro.utils.units import format_bytes
+
+COVERAGE_RATES = [2, 4, 8, 16]
+
+
+def bench_fig12_coverage(sweep, benchmark):
+    workloads = SENSITIVITY_WORKLOADS
+    base_rrm = sweep.base.rrm
+    llc_bytes = sweep.base.llc_bytes
+    default_rate = base_rrm.coverage_bytes // llc_bytes
+
+    def variant_name(rate):
+        return "default" if rate == default_rate else f"coverage={rate}x"
+
+    def run_variants():
+        for rate in COVERAGE_RATES:
+            variant = variant_name(rate)
+            if variant != "default":
+                sweep.register_variant(
+                    variant,
+                    sweep.base.with_rrm(
+                        base_rrm.with_coverage_rate(llc_bytes, rate)
+                    ),
+                )
+            sweep.ensure(workloads, [Scheme.RRM], variant)
+        sweep.ensure(workloads, [Scheme.STATIC_7])
+
+    benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    baselines = [sweep.get(w, Scheme.STATIC_7) for w in workloads]
+    rows = []
+    speedups = {}
+    for rate in COVERAGE_RATES:
+        variant = variant_name(rate)
+        config = sweep.config_for(variant)
+        results = [sweep.get(w, Scheme.RRM, variant) for w in workloads]
+        speedups[rate] = geomean(
+            [r.ipc / b.ipc for r, b in zip(results, baselines)]
+        )
+        lifetime = geomean([r.lifetime_years for r in results])
+        rows.append([
+            f"{rate}x" + (" (default)" if variant == "default" else ""),
+            f"{config.rrm.n_sets} sets x {config.rrm.n_ways} ways",
+            format_bytes(config.rrm.storage_bytes),
+            speedups[rate],
+            lifetime,
+        ])
+
+    write_report(
+        "fig12_coverage",
+        format_table(
+            ["LLC coverage", "geometry", "storage", "speedup vs S7",
+             "lifetime (y)"],
+            rows,
+            title=("Figure 12 / Table VIII: RRM coverage-rate sweep "
+                   f"(geomean over {', '.join(workloads)})"),
+        ),
+    )
+
+    # Shape: 2x notably below 4x; 8x/16x within noise of 4x.
+    assert speedups[2] < speedups[4] * 0.99, speedups
+    for rate in (8, 16):
+        assert abs(speedups[rate] - speedups[4]) < 0.08 * speedups[4], speedups

@@ -1,0 +1,82 @@
+"""Paper Figure 13: sensitivity to the RRM entry coverage size.
+
+Varies the Retention Region size over {2KB, 4KB, 8KB, 16KB} at constant
+total coverage (the set count compensates). Shape targets (paper Section
+VI-F): 2KB entries perform considerably worse — half-size regions
+accumulate dirty writes at half the rate and fail to reach hot_threshold
+— while 4/8/16KB perform similarly.
+"""
+
+from benchmarks.common import SENSITIVITY_WORKLOADS, write_report
+from repro.analysis.report import format_table
+from repro.sim.schemes import Scheme
+from repro.utils.mathx import geomean
+from repro.utils.units import format_bytes
+
+REGION_SIZES = [2048, 4096, 8192, 16384]
+
+
+def bench_fig13_entry_size(sweep, benchmark):
+    workloads = SENSITIVITY_WORKLOADS
+    base_rrm = sweep.base.rrm
+
+    def variant_name(region_bytes):
+        if region_bytes == base_rrm.region_bytes:
+            return "default"
+        return f"region={region_bytes}"
+
+    def run_variants():
+        for region_bytes in REGION_SIZES:
+            variant = variant_name(region_bytes)
+            if variant != "default":
+                sweep.register_variant(
+                    variant,
+                    sweep.base.with_rrm(
+                        base_rrm.with_region_bytes(region_bytes)
+                    ),
+                )
+            sweep.ensure(workloads, [Scheme.RRM], variant)
+        sweep.ensure(workloads, [Scheme.STATIC_7])
+
+    benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    baselines = [sweep.get(w, Scheme.STATIC_7) for w in workloads]
+    rows = []
+    speedups = {}
+    for region_bytes in REGION_SIZES:
+        variant = variant_name(region_bytes)
+        results = [sweep.get(w, Scheme.RRM, variant) for w in workloads]
+        speedups[region_bytes] = geomean(
+            [r.ipc / b.ipc for r, b in zip(results, baselines)]
+        )
+        lifetime = geomean([r.lifetime_years for r in results])
+        fast_share = sum(r.fast_write_fraction for r in results) / len(results)
+        rows.append([
+            format_bytes(region_bytes)
+            + (" (default)" if variant == "default" else ""),
+            speedups[region_bytes],
+            lifetime,
+            f"{fast_share:.0%}",
+        ])
+
+    write_report(
+        "fig13_entry_size",
+        format_table(
+            ["entry coverage", "speedup vs S7", "lifetime (y)", "fast writes"],
+            rows,
+            title=("Figure 13: entry-coverage-size sweep "
+                   f"(geomean over {', '.join(workloads)})"),
+        ),
+    )
+
+    # Shape: 2KB at or below 4KB (the paper sees a considerably larger
+    # 2KB penalty; our synthetic warm tier — the traffic that halved
+    # entries fail to promote — is a smaller share of writes, so the
+    # direction reproduces but not the magnitude; see EXPERIMENTS.md).
+    assert speedups[2048] <= speedups[4096] * 1.01, speedups
+    # 8KB/16KB close to 4KB (hot arrays are contiguous, so wider entries
+    # stay accurate).
+    for region_bytes in (8192, 16384):
+        assert abs(speedups[region_bytes] - speedups[4096]) < (
+            0.08 * speedups[4096]
+        ), speedups

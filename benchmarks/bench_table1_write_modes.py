@@ -1,0 +1,51 @@
+"""Paper Table I: the write latency / retention trade-off.
+
+Regenerates every row of Table I from the drift model and the write pulse
+recurrence, and asserts the reproduction stays within calibration error.
+"""
+
+import pytest
+
+from benchmarks.common import write_report
+from repro.analysis.report import format_table
+from repro.pcm.write_modes import WriteModeTable
+
+#: (current uA, normalised energy, retention s, latency ns) per SET count.
+PAPER_TABLE_I = {
+    7: (30, 1.000, 3054.9, 1150),
+    6: (32, 0.975, 991.4, 1000),
+    5: (35, 0.972, 104.4, 850),
+    4: (37, 0.869, 24.05, 700),
+    3: (42, 0.840, 2.01, 550),
+}
+
+
+def bench_table1_write_modes(benchmark):
+    table = benchmark.pedantic(WriteModeTable, rounds=1, iterations=1)
+
+    rows = []
+    for n_sets in sorted(PAPER_TABLE_I, reverse=True):
+        current, energy, retention, latency = PAPER_TABLE_I[n_sets]
+        mode = table.mode(n_sets)
+        assert mode.set_current_ua == current
+        assert mode.normalized_energy == pytest.approx(energy)
+        assert mode.retention_s == pytest.approx(retention, rel=0.005)
+        assert mode.latency_ns == latency
+        rows.append([
+            mode.name,
+            f"{mode.set_current_ua:.0f}",
+            f"{mode.normalized_energy:.3f}",
+            f"{mode.retention_s:.2f}",
+            f"{retention}",
+            f"{mode.latency_ns:.0f}",
+        ])
+
+    write_report(
+        "table1_write_modes",
+        format_table(
+            ["Write Type", "Current(uA)", "N.Energy",
+             "Retention(s)", "Paper(s)", "Latency(ns)"],
+            rows,
+            title="Table I: write modes derived from the drift model",
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Paper Table VIII: RRM hardware overhead per LLC coverage rate.
+
+Pure arithmetic over the entry format of Section IV-C; verifies the
+paper's exact numbers (48KB/96KB/192KB/384KB and their LLC percentages)
+at the full-scale 6MB LLC.
+"""
+
+from benchmarks.common import write_report
+from repro.analysis.report import format_table
+from repro.core.config import RRMConfig
+from repro.utils.units import format_bytes, parse_size
+
+PAPER_ROWS = {
+    2: (128, "48KB", 0.78),
+    4: (256, "96KB", 1.56),
+    8: (512, "192KB", 3.12),
+    16: (1024, "384KB", 6.25),
+}
+
+
+def bench_table8_overhead(benchmark):
+    llc = parse_size("6MB")
+
+    def build():
+        return {
+            rate: RRMConfig().with_coverage_rate(llc, rate)
+            for rate in PAPER_ROWS
+        }
+
+    configs = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for rate, (sets, storage, pct) in sorted(PAPER_ROWS.items()):
+        config = configs[rate]
+        assert config.n_sets == sets
+        assert format_bytes(config.storage_bytes) == storage
+        actual_pct = 100 * config.storage_bytes / llc
+        assert abs(actual_pct - pct) < 0.01
+        rows.append([
+            f"{rate}x" + (" (default)" if rate == 4 else ""),
+            f"{config.n_sets} sets, {config.n_ways} ways",
+            format_bytes(config.storage_bytes),
+            f"{actual_pct:.2f}% of LLC",
+        ])
+
+    write_report(
+        "table8_overhead",
+        format_table(
+            ["LLC Coverage", "Configuration", "Overhead", "Relative"],
+            rows,
+            title="Table VIII: RRM configuration for different LLC coverage",
+        ),
+    )

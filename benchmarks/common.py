@@ -1,0 +1,129 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures. Runs are
+expensive (seconds each in pure Python), so a session-wide
+:class:`SweepCache` memoises (config-variant, workload, scheme) results:
+the main performance/lifetime/wear/energy figures all share one sweep,
+and sensitivity benches only add their own variant cells.
+
+Environment knobs:
+
+- ``REPRO_BENCH_QUICK=1``   use the tiny configuration (smoke run);
+- ``REPRO_BENCH_FULL=1``    run all 11 workloads instead of the default
+  representative subset;
+- ``REPRO_BENCH_SEED=N``    change the simulation seed.
+
+Reports are printed and also written under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SimResult
+from repro.sim.runner import run_workload
+from repro.sim.schemes import Scheme
+from repro.workloads.mixes import all_workload_names
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Representative subset used by default (one light, one pointer-chasing,
+#: one streaming, two stencil-heavy, one mix); REPRO_BENCH_FULL runs all.
+DEFAULT_WORKLOADS = ["GemsFDTD", "hmmer", "lbm", "libquantum", "mcf", "MIX_2"]
+
+#: Workloads used by the sensitivity sweeps (Figs 11-13).
+SENSITIVITY_WORKLOADS = ["GemsFDTD", "lbm", "mcf"]
+
+ALL_SCHEMES = [
+    Scheme.STATIC_7,
+    Scheme.STATIC_6,
+    Scheme.STATIC_5,
+    Scheme.STATIC_4,
+    Scheme.STATIC_3,
+    Scheme.RRM,
+]
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def workloads_under_test() -> List[str]:
+    if os.environ.get("REPRO_BENCH_FULL", "") == "1":
+        return all_workload_names()
+    return list(DEFAULT_WORKLOADS)
+
+
+def base_config() -> SystemConfig:
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+    if quick_mode():
+        return SystemConfig.tiny(seed=seed)
+    return SystemConfig.scaled(seed=seed)
+
+
+class SweepCache:
+    """Memoises simulation results across the whole bench session.
+
+    Cells are keyed by (variant, workload, scheme). ``variant`` names a
+    configuration derived from the base config — ``"default"`` for the
+    main sweep, or e.g. ``"threshold=8"`` for sensitivity variants
+    registered via :meth:`config_for`.
+    """
+
+    def __init__(self) -> None:
+        self.base = base_config()
+        self._configs: Dict[str, SystemConfig] = {"default": self.base}
+        self._results: Dict[Tuple[str, str, Scheme], SimResult] = {}
+        self.runs_executed = 0
+
+    def register_variant(self, name: str, config: SystemConfig) -> None:
+        existing = self._configs.get(name)
+        if existing is not None and existing != config:
+            raise ValueError(f"variant {name!r} already registered differently")
+        self._configs[name] = config
+
+    def config_for(self, variant: str) -> SystemConfig:
+        return self._configs[variant]
+
+    def get(
+        self, workload: str, scheme: Scheme, variant: str = "default"
+    ) -> SimResult:
+        key = (variant, workload, scheme)
+        if key not in self._results:
+            config = self._configs[variant]
+            self._results[key] = run_workload(config, workload, scheme)
+            self.runs_executed += 1
+        return self._results[key]
+
+    def ensure(
+        self,
+        workloads: Iterable[str],
+        schemes: Iterable[Scheme],
+        variant: str = "default",
+    ) -> int:
+        """Run every missing (workload, scheme) cell; returns how many
+        simulations actually executed."""
+        before = self.runs_executed
+        for workload in workloads:
+            for scheme in schemes:
+                self.get(workload, scheme, variant)
+        return self.runs_executed - before
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a bench report under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return path
+
+
+def geomean_over(values: Iterable[float]) -> float:
+    from repro.utils.mathx import geomean
+
+    return geomean(values)

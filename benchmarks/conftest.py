@@ -1,0 +1,12 @@
+"""Benchmark fixtures: one sweep cache shared by the whole session."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SweepCache
+
+
+@pytest.fixture(scope="session")
+def sweep() -> SweepCache:
+    return SweepCache()

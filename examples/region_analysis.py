@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Region write-interval analysis (paper Table III / Section III-C).
+
+The insight behind the RRM is that writes are extremely skewed: a small
+set of 4KB regions absorbs almost all memory writes, at intervals of
+milliseconds, while most of memory is written rarely or never. This
+example runs a workload under the slow baseline scheme, records every
+demand write, and prints the same region histogram the paper uses to make
+that case.
+
+Run:  python examples/region_analysis.py [--workload NAME] [--tiny]
+"""
+
+import argparse
+
+from repro import Scheme, SystemConfig
+from repro.analysis.regions import RegionIntervalAnalyzer
+from repro.analysis.report import format_table
+from repro.sim.system import System
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="GemsFDTD")
+    parser.add_argument("--tiny", action="store_true")
+    args = parser.parse_args()
+
+    config = SystemConfig.tiny() if args.tiny else SystemConfig.scaled()
+    analyzer = RegionIntervalAnalyzer(
+        drift_scale=config.drift_scale,
+        total_regions=config.memory.size_bytes // 4096,
+    )
+
+    system = System(
+        config, args.workload, Scheme.STATIC_7,
+        write_trace_sink=analyzer.record,
+    )
+    result = system.run()
+
+    rows = [
+        [row.label, row.regions, f"{row.region_pct:.1f}%",
+         row.writes, f"{row.write_pct:.2f}%"]
+        for row in analyzer.histogram()
+    ]
+    print(format_table(
+        ["Average Write Interval", "# Regions", "% Regions", "# Writes", "% Writes"],
+        rows,
+        title=(f"Region write behaviour of {args.workload} "
+               f"({result.writes} memory writes, intervals on the paper's "
+               f"timescale)"),
+    ))
+
+    share = analyzer.hot_write_share(interval_cutoff_ns=1e8)
+    pct_regions = 100.0 * analyzer.regions_written / (
+        config.memory.size_bytes // 4096
+    )
+    print()
+    print(f"{pct_regions:.1f}% of memory regions were written at all; "
+          f"{share:.0%} of all writes hit regions with an average interval "
+          f"below 10^8 ns.")
+    print("This is the skew the Region Retention Monitor exploits: only "
+          "those regions need fast short-retention writes and selective "
+          "refresh.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Result analysis: aggregation helpers, region write-interval histograms
+(paper Table III) and paper-style textual reports."""
+
+from repro.analysis.aggregate import normalize_to, series_with_geomean
+from repro.analysis.distributions import (
+    DistributionSummary,
+    gini_coefficient,
+    lorenz_curve,
+    summarize,
+    wear_histogram,
+)
+from repro.analysis.regions import RegionIntervalAnalyzer, IntervalBin
+from repro.analysis.report import (
+    format_table,
+    performance_report,
+    lifetime_report,
+    wear_report,
+    energy_report,
+)
+
+__all__ = [
+    "normalize_to",
+    "series_with_geomean",
+    "DistributionSummary",
+    "gini_coefficient",
+    "lorenz_curve",
+    "summarize",
+    "wear_histogram",
+    "RegionIntervalAnalyzer",
+    "IntervalBin",
+    "format_table",
+    "performance_report",
+    "lifetime_report",
+    "wear_report",
+    "energy_report",
+]

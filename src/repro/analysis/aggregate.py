@@ -1,0 +1,30 @@
+"""Aggregation helpers for experiment result series."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.utils.mathx import geomean
+
+
+def normalize_to(values: Sequence[float], baseline: Sequence[float]) -> List[float]:
+    """Element-wise ``values[i] / baseline[i]`` (the paper normalises IPC
+    to a baseline scheme per workload before averaging)."""
+    if len(values) != len(baseline):
+        raise ValueError("series lengths differ")
+    for b in baseline:
+        if b == 0:
+            raise ValueError("baseline contains zero")
+    return [v / b for v, b in zip(values, baseline)]
+
+
+def series_with_geomean(
+    labels: Sequence[str], values: Sequence[float]
+) -> "Dict[str, float]":
+    """A labelled series with a trailing ``geomean`` entry, as the paper's
+    figures present per-workload bars plus a geometric-mean bar."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values lengths differ")
+    out = dict(zip(labels, values))
+    out["geomean"] = geomean(values)
+    return out

@@ -1,0 +1,142 @@
+"""Distribution statistics for wear and latency data.
+
+Used by the wear-levelling analyses and by anyone asking "how uneven is
+the wear really?" — the lifetime model only needs the max/mean ratio, but
+the full distribution (quantiles, Gini coefficient, Lorenz curve) is what
+a memory-systems engineer inspects when judging a levelling scheme.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of a non-negative sample."""
+
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    gini: float
+
+    @property
+    def max_over_mean(self) -> float:
+        """Peak-to-average ratio; its inverse is levelling efficiency."""
+        return self.maximum / self.mean if self.mean else 0.0
+
+    @property
+    def leveling_efficiency(self) -> float:
+        """mean / max — 1.0 means perfectly uniform."""
+        return self.mean / self.maximum if self.maximum else 1.0
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of an ascending sequence."""
+    if not sorted_values:
+        raise ConfigError("quantile of empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"quantile {q} out of [0,1]")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = position - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def gini_coefficient(values: Iterable[float]) -> float:
+    """Gini coefficient of a non-negative sample (0 = uniform, ->1 =
+    concentrated on one element)."""
+    data = sorted(values)
+    if not data:
+        raise ConfigError("gini of empty sample")
+    if any(v < 0 for v in data):
+        raise ConfigError("gini requires non-negative values")
+    total = sum(data)
+    if total == 0:
+        return 0.0
+    n = len(data)
+    # Standard formulation over sorted data.
+    weighted = sum((index + 1) * value for index, value in enumerate(data))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def summarize(values: Iterable[float]) -> DistributionSummary:
+    """Full summary of a non-negative sample."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ConfigError("summary of empty sample")
+    total = sum(data)
+    return DistributionSummary(
+        count=len(data),
+        total=total,
+        mean=total / len(data),
+        minimum=data[0],
+        maximum=data[-1],
+        p50=quantile(data, 0.50),
+        p90=quantile(data, 0.90),
+        p99=quantile(data, 0.99),
+        gini=gini_coefficient(data),
+    )
+
+
+def lorenz_curve(values: Iterable[float], points: int = 11) -> List[Tuple[float, float]]:
+    """Lorenz curve samples: (population share, cumulative value share).
+
+    The classic inequality visual: for perfectly levelled wear the curve
+    is the diagonal; the further it sags, the more a few blocks carry.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ConfigError("lorenz of empty sample")
+    if points < 2:
+        raise ConfigError("need at least two curve points")
+    total = sum(data)
+    cumulative: List[float] = []
+    running = 0.0
+    for value in data:
+        running += value
+        cumulative.append(running)
+    curve = [(0.0, 0.0)]
+    n = len(data)
+    for i in range(1, points):
+        share = i / (points - 1)
+        index = max(1, round(share * n))
+        value_share = cumulative[index - 1] / total if total else share
+        curve.append((index / n, value_share))
+    return curve
+
+
+def wear_histogram(
+    per_block_wear: Dict[int, int], bin_edges: Sequence[int]
+) -> Dict[str, int]:
+    """Bin per-block wear counts for reporting.
+
+    Args:
+        per_block_wear: block -> write count (only touched blocks).
+        bin_edges: ascending inclusive-lower bin edges, e.g. (1, 10, 100).
+    """
+    edges = list(bin_edges)
+    if edges != sorted(edges) or len(set(edges)) != len(edges):
+        raise ConfigError("bin edges must be strictly ascending")
+    labels = [
+        f"[{low}, {high})" for low, high in zip(edges, edges[1:])
+    ] + [f">= {edges[-1]}"]
+    counts = {label: 0 for label in labels}
+    for wear in per_block_wear.values():
+        index = bisect.bisect_right(edges, wear) - 1
+        if index < 0:
+            continue  # below the first edge: untracked tail
+        counts[labels[min(index, len(labels) - 1)]] += 1
+    return counts

@@ -1,0 +1,168 @@
+"""Paper-style textual reports.
+
+Each helper renders one of the paper's figures/tables as an aligned text
+table from an :class:`~repro.sim.runner.ExperimentRunner`'s results, so a
+bench run prints the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.runner import ExperimentRunner
+from repro.sim.schemes import Scheme
+from repro.utils.mathx import geomean
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table (first column left, rest right)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def render(row: List[str]) -> str:
+        first = row[0].ljust(widths[0])
+        rest = [cell.rjust(width) for cell, width in zip(row[1:], widths[1:])]
+        return "  ".join([first] + rest)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(cells[0]))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    lines.extend(render(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def performance_report(
+    runner: ExperimentRunner,
+    schemes: Optional[List[Scheme]] = None,
+    baseline: Scheme = Scheme.STATIC_7,
+    title: str = "IPC normalised to Static-7-SETs",
+) -> str:
+    """Figures 2 / 7: per-workload normalised IPC plus geomean."""
+    schemes = schemes or runner.schemes
+    headers = ["workload"] + [s.value for s in schemes]
+    rows = []
+    for workload in runner.workloads:
+        base = runner.result(workload, baseline).ipc
+        rows.append(
+            [workload] + [runner.result(workload, s).ipc / base for s in schemes]
+        )
+    geo = ["geomean"] + [
+        geomean(runner.normalized_ipc(s, baseline)) for s in schemes
+    ]
+    rows.append(geo)
+    return format_table(headers, rows, title=title)
+
+
+def lifetime_report(
+    runner: ExperimentRunner,
+    schemes: Optional[List[Scheme]] = None,
+    title: str = "Memory lifetime (years)",
+) -> str:
+    """Figures 3 / 8: per-workload lifetime in years plus geomean."""
+    schemes = schemes or runner.schemes
+    headers = ["workload"] + [s.value for s in schemes]
+    rows = []
+    for workload in runner.workloads:
+        rows.append(
+            [workload]
+            + [runner.result(workload, s).lifetime_years for s in schemes]
+        )
+    rows.append(["geomean"] + [runner.geomean_lifetime(s) for s in schemes])
+    return format_table(headers, rows, title=title)
+
+
+def wear_report(
+    runner: ExperimentRunner,
+    schemes: Optional[List[Scheme]] = None,
+    window_s: float = 5.0,
+    normalize_to: Optional[Scheme] = Scheme.STATIC_7,
+    title: str = "Wear per 5s window (block writes), split by source",
+) -> str:
+    """Figures 4 / 9: wear split into demand writes and refreshes.
+
+    Wear is averaged (geomean of totals) across workloads per scheme and
+    optionally normalised to a baseline scheme's total.
+    """
+    schemes = schemes or runner.schemes
+    headers = ["scheme", "write", "rrm_refresh", "global_refresh", "total"]
+    per_scheme = {}
+    for scheme in schemes:
+        writes, rrm, glob = [], [], []
+        for workload in runner.workloads:
+            wear = runner.result(workload, scheme).wear
+            writes.append(wear.demand_rate * window_s)
+            rrm.append(wear.rrm_refresh_rate * window_s)
+            glob.append(wear.global_refresh_rate * window_s)
+        n = len(runner.workloads)
+        per_scheme[scheme] = (
+            sum(writes) / n,
+            sum(rrm) / n,
+            sum(glob) / n,
+        )
+    baseline_total = None
+    if normalize_to is not None and normalize_to in per_scheme:
+        baseline_total = sum(per_scheme[normalize_to])
+    rows = []
+    for scheme in schemes:
+        w, r, g = per_scheme[scheme]
+        total = w + r + g
+        if baseline_total:
+            rows.append(
+                [scheme.value, w / baseline_total, r / baseline_total,
+                 g / baseline_total, total / baseline_total]
+            )
+        else:
+            rows.append([scheme.value, w, r, g, total])
+    return format_table(headers, rows, title=title)
+
+
+def energy_report(
+    runner: ExperimentRunner,
+    schemes: Optional[List[Scheme]] = None,
+    window_s: float = 5.0,
+    normalize_to: Optional[Scheme] = Scheme.STATIC_7,
+    title: str = "Memory energy per 5s window (normalised units)",
+) -> str:
+    """Figure 10: energy split into write / read / refresh components."""
+    schemes = schemes or runner.schemes
+    headers = ["scheme", "write", "read", "rrm_refresh", "global_refresh", "total"]
+    per_scheme = {}
+    for scheme in schemes:
+        sums = [0.0, 0.0, 0.0, 0.0]
+        for workload in runner.workloads:
+            energy = runner.result(workload, scheme).energy
+            sums[0] += energy.write_rate * window_s
+            sums[1] += energy.read_rate * window_s
+            sums[2] += energy.rrm_refresh_rate * window_s
+            sums[3] += energy.global_refresh_rate * window_s
+        n = len(runner.workloads)
+        per_scheme[scheme] = [x / n for x in sums]
+    baseline_total = None
+    if normalize_to is not None and normalize_to in per_scheme:
+        baseline_total = sum(per_scheme[normalize_to])
+    rows = []
+    for scheme in schemes:
+        parts = per_scheme[scheme]
+        total = sum(parts)
+        if baseline_total:
+            rows.append([scheme.value] + [p / baseline_total for p in parts]
+                        + [total / baseline_total])
+        else:
+            rows.append([scheme.value] + parts + [total])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,34 @@
+"""Write-back set-associative cache hierarchy (paper Table IV substrate).
+
+The hierarchy filters CPU loads/stores into the memory traffic the RRM and
+memory controller observe: LLC misses become memory reads, LLC dirty
+evictions become memory writes, and writes *into* LLC entries (dirty
+writebacks arriving from L2) generate the RRM's LLC Write Registrations.
+"""
+
+from repro.cache.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.cache.cache import Cache, CacheConfig, CacheStats, AccessResult
+from repro.cache.mshr import MSHRFile
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, MemoryTraffic
+
+__all__ = [
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "AccessResult",
+    "MSHRFile",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "MemoryTraffic",
+]

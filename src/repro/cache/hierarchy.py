@@ -1,0 +1,166 @@
+"""Three-level cache hierarchy wiring (paper Table IV).
+
+Per-core L1 data caches and private L2s sit above a shared L3 (the LLC).
+The hierarchy turns core loads/stores into the three event streams the
+rest of the system consumes:
+
+- *memory reads*: LLC misses that must fetch from PCM;
+- *memory writes*: dirty LLC victims written back to PCM;
+- *LLC writes*: dirty L2 victims landing in the LLC — each generates an
+  RRM LLC Write Registration carrying ``was_dirty``.
+
+Instruction caches are not modelled: the paper's workloads are
+memory-intensive SPEC2006 benchmarks whose instruction footprints fit in
+the 32KB L1I, so instruction traffic never reaches the PCM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.errors import ConfigError
+from repro.utils.units import parse_size
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry for the whole hierarchy (paper Table IV defaults)."""
+
+    n_cores: int = 4
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=parse_size("32KB"), n_ways=4, hit_latency_cycles=2, name="L1D"
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=parse_size("256KB"), n_ways=8, hit_latency_cycles=12, name="L2"
+        )
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=parse_size("6MB"), n_ways=24, hit_latency_cycles=35, name="LLC"
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigError("n_cores must be positive")
+
+    @classmethod
+    def scaled(cls, factor: int, n_cores: int = 4) -> "HierarchyConfig":
+        """A hierarchy shrunk by *factor* (for fast tests/benchmarks)."""
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return cls(
+            n_cores=n_cores,
+            l1=CacheConfig(
+                size_bytes=max(64 * 4, parse_size("32KB") // factor),
+                n_ways=4, hit_latency_cycles=2, name="L1D",
+            ),
+            l2=CacheConfig(
+                size_bytes=max(64 * 8, parse_size("256KB") // factor),
+                n_ways=8, hit_latency_cycles=12, name="L2",
+            ),
+            llc=CacheConfig(
+                size_bytes=max(64 * 24, parse_size("6MB") // factor),
+                n_ways=24, hit_latency_cycles=35, name="LLC",
+            ),
+        )
+
+
+@dataclass
+class MemoryTraffic:
+    """Side effects of one CPU access, to be applied by the caller.
+
+    Attributes:
+        latency_cycles: Sum of hit latencies along the lookup path (the
+            PCM read latency, if any, is added by the timing model).
+        memory_read_block: Block to fetch from PCM, or None on an LLC hit.
+        memory_write_blocks: Dirty LLC victims to write back to PCM.
+        llc_writes: (block, was_dirty) registrations for the RRM.
+    """
+
+    latency_cycles: int = 0
+    memory_read_block: Optional[int] = None
+    memory_write_blocks: List[int] = field(default_factory=list)
+    llc_writes: List[Tuple[int, bool]] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """Owns the cache levels of one simulated CMP."""
+
+    def __init__(self, config: HierarchyConfig, seed: int = 0) -> None:
+        self.config = config
+        self.l1 = [Cache(config.l1, seed=seed + core) for core in range(config.n_cores)]
+        self.l2 = [
+            Cache(config.l2, seed=seed + 100 + core) for core in range(config.n_cores)
+        ]
+        self.llc = Cache(config.llc, seed=seed + 1000)
+
+    def access(self, core: int, block: int, is_write: bool) -> MemoryTraffic:
+        """One load/store from *core* to *block*; returns the resulting
+        traffic and the hierarchy-latency of the lookup path."""
+        if not 0 <= core < self.config.n_cores:
+            raise ConfigError(f"core {core} out of range")
+        traffic = MemoryTraffic()
+
+        l1_result = self.l1[core].access(block, is_write)
+        traffic.latency_cycles += l1_result.latency_cycles
+        if l1_result.writeback_block is not None:
+            self._writeback_to_l2(core, l1_result.writeback_block, traffic)
+        if l1_result.hit:
+            return traffic
+
+        l2_result = self.l2[core].access(block, is_write=False)
+        traffic.latency_cycles += l2_result.latency_cycles
+        if l2_result.writeback_block is not None:
+            self._writeback_to_llc(l2_result.writeback_block, traffic)
+        if l2_result.hit:
+            return traffic
+
+        llc_result = self.llc.access(block, is_write=False)
+        traffic.latency_cycles += llc_result.latency_cycles
+        if llc_result.writeback_block is not None:
+            traffic.memory_write_blocks.append(llc_result.writeback_block)
+        if not llc_result.hit:
+            traffic.memory_read_block = block
+        return traffic
+
+    def _writeback_to_l2(self, core: int, block: int, traffic: MemoryTraffic) -> None:
+        """A dirty L1 victim lands in the core's L2."""
+        result = self.l2[core].write_into(block)
+        if result.writeback_block is not None:
+            self._writeback_to_llc(result.writeback_block, traffic)
+
+    def _writeback_to_llc(self, block: int, traffic: MemoryTraffic) -> None:
+        """A dirty L2 victim lands in the LLC — the RRM registration point."""
+        result = self.llc.write_into(block)
+        traffic.llc_writes.append((block, result.was_dirty))
+        if result.writeback_block is not None:
+            traffic.memory_write_blocks.append(result.writeback_block)
+
+    def drain_dirty(self) -> List[int]:
+        """Flush the hierarchy; returns all blocks that would be written to
+        memory (used to settle statistics at end of run)."""
+        written: List[int] = []
+        for core in range(self.config.n_cores):
+            for block in self.l1[core].dirty_blocks():
+                self.l1[core].invalidate(block)
+                self.l2[core].write_into(block)
+            for block in self.l2[core].dirty_blocks():
+                self.l2[core].invalidate(block)
+                self.llc.write_into(block)
+        for block in self.llc.dirty_blocks():
+            self.llc.invalidate(block)
+            written.append(block)
+        return written
+
+    def mpki(self, core_instructions: List[int]) -> float:
+        """LLC misses per thousand instructions over the whole run."""
+        total_instructions = sum(core_instructions)
+        if total_instructions <= 0:
+            return 0.0
+        return 1000.0 * self.llc.stats.misses / total_instructions

@@ -1,0 +1,73 @@
+"""Miss Status Holding Registers.
+
+An MSHR file bounds the number of outstanding misses a cache (or core) can
+sustain and merges secondary misses to an already-outstanding block. The
+paper's caches have 8/12/32 MSHRs for L1/L2/L3; in the CPU model the MSHR
+bound is what limits memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError, SimulationError
+
+
+@dataclass
+class MSHRFile:
+    """Tracks outstanding misses by block index."""
+
+    capacity: int
+    name: str = "mshr"
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError(f"{self.name}: capacity must be positive")
+        self._outstanding: Dict[int, List[Callable[[], None]]] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._outstanding)
+
+    @property
+    def full(self) -> bool:
+        return len(self._outstanding) >= self.capacity
+
+    def outstanding(self, block: int) -> bool:
+        """Whether a miss to *block* is already in flight."""
+        return block in self._outstanding
+
+    def allocate(self, block: int, waiter: Optional[Callable[[], None]] = None) -> bool:
+        """Register a miss to *block*.
+
+        Returns True if this is a *primary* miss (the caller must issue the
+        memory read); False if it merged into an existing entry. Raises if
+        the file is full and the block is not already outstanding — the
+        caller must check :attr:`full` / :meth:`outstanding` first.
+        """
+        if block in self._outstanding:
+            self.merges += 1
+            if waiter is not None:
+                self._outstanding[block].append(waiter)
+            return False
+        if self.full:
+            raise SimulationError(f"{self.name} full: unchecked allocate")
+        self._outstanding[block] = [waiter] if waiter is not None else []
+        self.allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._outstanding))
+        return True
+
+    def complete(self, block: int) -> List[Callable[[], None]]:
+        """Retire the miss to *block*; returns the waiters to wake."""
+        try:
+            waiters = self._outstanding.pop(block)
+        except KeyError:
+            raise SimulationError(f"{self.name}: completing unknown miss {block}") from None
+        return waiters
+
+    def can_accept(self, block: int) -> bool:
+        """Whether a miss to *block* can be tracked (free slot or merge)."""
+        return block in self._outstanding or not self.full

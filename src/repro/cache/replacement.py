@@ -1,0 +1,123 @@
+"""Replacement policies for set-associative caches.
+
+Policies operate on way indices within one set, so the cache can swap
+policies without changing its storage layout. LRU is the paper's policy
+for both caches and the RRM; random and tree-PLRU are provided for
+sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List
+
+from repro.errors import ConfigError
+
+
+class ReplacementPolicy(abc.ABC):
+    """Tracks recency state for one cache set of ``n_ways`` ways."""
+
+    def __init__(self, n_ways: int) -> None:
+        if n_ways <= 0:
+            raise ConfigError(f"n_ways must be positive, got {n_ways}")
+        self.n_ways = n_ways
+
+    @abc.abstractmethod
+    def touch(self, way: int) -> None:
+        """Record an access to *way*."""
+
+    @abc.abstractmethod
+    def victim(self, valid_ways: List[bool]) -> int:
+        """Pick the way to evict. Invalid ways are preferred by the caller;
+        this is only consulted when the set is full."""
+
+    def reset(self, way: int) -> None:
+        """Way was invalidated; default: nothing to do."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used via monotonically increasing stamps."""
+
+    def __init__(self, n_ways: int) -> None:
+        super().__init__(n_ways)
+        self._clock = 0
+        self._stamps = [0] * n_ways
+
+    def touch(self, way: int) -> None:
+        self._clock += 1
+        self._stamps[way] = self._clock
+
+    def victim(self, valid_ways: List[bool]) -> int:
+        return min(range(self.n_ways), key=lambda w: self._stamps[w])
+
+    def reset(self, way: int) -> None:
+        self._stamps[way] = 0
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection (seeded for reproducibility)."""
+
+    def __init__(self, n_ways: int, seed: int = 0) -> None:
+        super().__init__(n_ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        pass
+
+    def victim(self, valid_ways: List[bool]) -> int:
+        return self._rng.randrange(self.n_ways)
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over a power-of-two way count.
+
+    For non-power-of-two associativities the tree covers the next power of
+    two and out-of-range leaves fall back to their in-range neighbour.
+    """
+
+    def __init__(self, n_ways: int) -> None:
+        super().__init__(n_ways)
+        self._leaves = 1
+        while self._leaves < n_ways:
+            self._leaves *= 2
+        self._bits = [False] * max(1, self._leaves - 1)
+
+    def touch(self, way: int) -> None:
+        node = 0
+        low, high = 0, self._leaves
+        while high - low > 1:
+            mid = (low + high) // 2
+            went_right = way >= mid
+            # Point the bit *away* from the touched way.
+            self._bits[node] = not went_right
+            node = 2 * node + (2 if went_right else 1)
+            if went_right:
+                low = mid
+            else:
+                high = mid
+
+    def victim(self, valid_ways: List[bool]) -> int:
+        node = 0
+        low, high = 0, self._leaves
+        while high - low > 1:
+            mid = (low + high) // 2
+            go_right = self._bits[node]
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                low = mid
+            else:
+                high = mid
+        return min(low, self.n_ways - 1)
+
+
+def make_policy(name: str, n_ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Factory: ``"lru"``, ``"random"`` or ``"plru"``."""
+    name = name.lower()
+    if name == "lru":
+        return LRUPolicy(n_ways)
+    if name == "random":
+        return RandomPolicy(n_ways, seed=seed)
+    if name == "plru":
+        return TreePLRUPolicy(n_ways)
+    raise ConfigError(f"unknown replacement policy: {name!r}")

@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+Examples::
+
+    # One run
+    repro-rrm run --workload GemsFDTD --scheme rrm
+
+    # A scheme comparison on one workload
+    repro-rrm compare --workload GemsFDTD
+
+    # Regenerate the write-mode table (paper Table I)
+    repro-rrm table1
+
+    # Region write-interval histogram (paper Table III)
+    repro-rrm table3 --workload GemsFDTD
+
+    # RRM storage-overhead table (paper Table VIII)
+    repro-rrm table8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.regions import RegionIntervalAnalyzer
+from repro.analysis.report import format_table, lifetime_report, performance_report
+from repro.core.config import RRMConfig
+from repro.pcm.write_modes import WriteModeTable
+from repro.sim.config import SystemConfig
+from repro.sim.runner import ExperimentRunner, run_workload
+from repro.sim.schemes import Scheme, all_schemes, scheme_from_name
+from repro.sim.system import System
+from repro.utils.units import format_bytes, parse_size
+from repro.workloads.mixes import all_workload_names
+
+
+def _config_from_args(args) -> SystemConfig:
+    if args.config == "paper":
+        config = SystemConfig.paper(seed=args.seed)
+    elif args.config == "tiny":
+        config = SystemConfig.tiny(seed=args.seed)
+    else:
+        config = SystemConfig.scaled(seed=args.seed)
+    if args.duration is not None:
+        config = config.with_duration(args.duration)
+    return config
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        choices=["scaled", "paper", "tiny"],
+        default="scaled",
+        help="stock system configuration (default: scaled)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument(
+        "--duration", type=float, default=None, help="override duration (seconds)"
+    )
+
+
+def cmd_run(args) -> int:
+    config = _config_from_args(args)
+    scheme = scheme_from_name(args.scheme)
+    result = run_workload(config, args.workload, scheme)
+    print(result.summary())
+    if args.verbose:
+        for key, value in sorted(result.as_dict().items()):
+            print(f"  {key:28s} {value}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = _config_from_args(args)
+    schemes = (
+        [scheme_from_name(s) for s in args.schemes] if args.schemes else all_schemes()
+    )
+    runner = ExperimentRunner(config, workloads=[args.workload], schemes=schemes)
+    runner.run_all(
+        progress=lambda w, s, r: print(f"  done: {w} / {s.value}", file=sys.stderr)
+    )
+    print(performance_report(runner, schemes))
+    print()
+    print(lifetime_report(runner, schemes))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = _config_from_args(args)
+    workloads = args.workloads or all_workload_names()
+    schemes = (
+        [scheme_from_name(s) for s in args.schemes] if args.schemes else all_schemes()
+    )
+    runner = ExperimentRunner(
+        config, workloads=workloads, schemes=schemes, n_workers=args.workers
+    )
+    runner.run_all(
+        progress=lambda w, s, r: print(f"  done: {w} / {s.value}", file=sys.stderr)
+    )
+    print(performance_report(runner, schemes))
+    print()
+    print(lifetime_report(runner, schemes))
+    if args.output:
+        runner.save_json(args.output)
+        print(f"\nresults written to {args.output}")
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    from repro.sim.sweeps import (
+        coverage_sweep,
+        entry_size_sweep,
+        hot_threshold_sweep,
+        sweep_table,
+    )
+
+    config = _config_from_args(args)
+    workloads = args.workloads or ["GemsFDTD"]
+    progress = lambda label, w: print(f"  done: {label} / {w}", file=sys.stderr)  # noqa: E731
+
+    if args.parameter == "threshold":
+        points = hot_threshold_sweep(config, workloads, progress=progress)
+        title = "hot_threshold sweep (paper Fig. 11)"
+    elif args.parameter == "coverage":
+        points = coverage_sweep(config, workloads, progress=progress)
+        title = "LLC coverage sweep (paper Fig. 12)"
+    else:
+        points = entry_size_sweep(config, workloads, progress=progress)
+        title = "entry coverage size sweep (paper Fig. 13)"
+
+    print(
+        format_table(
+            ["variant", "speedup vs S7", "lifetime (y)", "fast writes"],
+            sweep_table(points),
+            title=f"{title}, geomean over {', '.join(workloads)}",
+        )
+    )
+    return 0
+
+
+def cmd_table1(args) -> int:
+    table = WriteModeTable()
+    rows = [
+        [m.name, f"{m.set_current_ua:.0f}", m.normalized_energy,
+         f"{m.retention_s:.1f}" if m.retention_s > 100 else f"{m.retention_s:.2f}",
+         f"{m.latency_ns:.0f}"]
+        for m in reversed(list(table))
+    ]
+    print(
+        format_table(
+            ["Write Type", "Current (uA)", "N. Energy", "Retention (s)", "Latency (ns)"],
+            rows,
+            title="Table I: write latency and retention per SET count",
+        )
+    )
+    return 0
+
+
+def cmd_table3(args) -> int:
+    config = _config_from_args(args)
+    analyzer = RegionIntervalAnalyzer(
+        drift_scale=config.drift_scale,
+        total_regions=config.memory.size_bytes // 4096,
+    )
+    system = System(
+        config,
+        args.workload,
+        Scheme.STATIC_7,
+        write_trace_sink=lambda t, b: analyzer.record(t, b),
+    )
+    system.run()
+    rows = [
+        [row.label, row.regions, f"{row.region_pct:.1f}%", row.writes,
+         f"{row.write_pct:.2f}%"]
+        for row in analyzer.histogram()
+    ]
+    print(
+        format_table(
+            ["Average Write Interval", "# Regions", "% Regions", "# Writes", "% Writes"],
+            rows,
+            title=f"Table III: region write behaviour, {args.workload}",
+        )
+    )
+    return 0
+
+
+def cmd_table8(args) -> int:
+    llc = parse_size(args.llc)
+    base = RRMConfig()
+    rows = []
+    for rate in (2, 4, 8, 16):
+        cfg = base.with_coverage_rate(llc, rate)
+        label = f"{rate}x" + (" (default)" if rate == 4 else "")
+        rows.append(
+            [label, f"{cfg.n_sets} sets, {cfg.n_ways} ways",
+             format_bytes(cfg.storage_bytes),
+             f"{100 * cfg.storage_bytes / llc:.2f}% of LLC"]
+        )
+    print(
+        format_table(
+            ["LLC Coverage", "Configuration", "Overhead", "Relative"],
+            rows,
+            title="Table VIII: RRM configuration per LLC coverage",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rrm",
+        description="Region Retention Monitor for MLC PCM (HPCA 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one workload under one scheme")
+    _add_common(p_run)
+    p_run.add_argument("--workload", default="GemsFDTD")
+    p_run.add_argument("--scheme", default="rrm")
+    p_run.add_argument("--verbose", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare schemes on one workload")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--workload", default="GemsFDTD")
+    p_cmp.add_argument("--schemes", nargs="*", default=None)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="full workloads x schemes sweep")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--workloads", nargs="*", default=None)
+    p_sweep.add_argument("--schemes", nargs="*", default=None)
+    p_sweep.add_argument("--workers", type=int, default=1)
+    p_sweep.add_argument("--output", default=None, help="JSON output path")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="RRM sensitivity sweeps (paper Figs. 11-13)"
+    )
+    _add_common(p_sens)
+    p_sens.add_argument(
+        "--parameter",
+        choices=["threshold", "coverage", "entry-size"],
+        default="threshold",
+    )
+    p_sens.add_argument("--workloads", nargs="*", default=None)
+    p_sens.set_defaults(func=cmd_sensitivity)
+
+    p_t1 = sub.add_parser("table1", help="regenerate paper Table I")
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_t3 = sub.add_parser("table3", help="region write-interval histogram")
+    _add_common(p_t3)
+    p_t3.add_argument("--workload", default="GemsFDTD")
+    p_t3.set_defaults(func=cmd_table3)
+
+    p_t8 = sub.add_parser("table8", help="RRM storage-overhead table")
+    p_t8.add_argument("--llc", default="6MB")
+    p_t8.set_defaults(func=cmd_table8)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""RRM configuration and its hardware-overhead model (paper Table VIII)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.pcm.device import BLOCK_BYTES
+from repro.utils.mathx import is_power_of_two, log2_int
+from repro.utils.units import format_bytes
+
+#: Physical address width assumed by the entry format (paper Section IV-C).
+ADDRESS_BITS = 64
+
+
+@dataclass(frozen=True)
+class RRMConfig:
+    """Structure and policy parameters of a Region Retention Monitor.
+
+    Defaults reproduce the paper's configuration: 256 sets x 24 ways of
+    4KB regions (24MB covered, 4x the 6MB LLC), ``hot_threshold`` 16, a
+    4-bit decay counter ticking 16 times per refresh interval, and fast /
+    slow write modes of 3 and 7 SET iterations.
+    """
+
+    n_sets: int = 256
+    n_ways: int = 24
+    region_bytes: int = 4096
+    hot_threshold: int = 16
+    decay_ticks_per_interval: int = 16
+    fast_n_sets: int = 3
+    slow_n_sets: int = 7
+    #: Rewrite short-retention blocks with the slow mode when their entry
+    #: is evicted (required for correctness; see monitor docs).
+    refresh_on_eviction: bool = True
+    #: Fraction of the fast mode's retention reserved as refresh slack.
+    #: The paper uses 0.5% (a 2s interval against 2.01s retention) on a
+    #: 64-bank device; scaled configurations need a larger fraction since
+    #: fewer banks drain the refresh burst more slowly.
+    refresh_slack_fraction: float = 0.005
+    #: Ablation: when False, clean LLC writes also register (disables the
+    #: streaming-write filter of paper Section IV-D).
+    streaming_filter: bool = True
+    #: Ablation: when False, hot entries never decay back to cold (paper
+    #: Section IV-G machinery off) — obsolete hot regions keep taking
+    #: selective fast refreshes forever.
+    decay_enabled: bool = True
+    #: Fault injection: when False, the short-retention interrupt fires
+    #: but issues no refreshes. Short-retention data then silently expires
+    #: — used to validate the retention-integrity checker.
+    selective_refresh_enabled: bool = True
+    #: RRM lookup latency in CPU cycles (paper Table IV). Small enough that
+    #: the timing model treats it as free; kept for the overhead report.
+    access_latency_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n_sets):
+            raise ConfigError(f"n_sets must be a power of two, got {self.n_sets}")
+        if self.n_ways <= 0:
+            raise ConfigError(f"n_ways must be positive, got {self.n_ways}")
+        if self.region_bytes % BLOCK_BYTES or self.region_bytes < BLOCK_BYTES:
+            raise ConfigError("region size must be a positive multiple of 64B")
+        if not is_power_of_two(self.region_bytes):
+            raise ConfigError("region size must be a power of two")
+        if self.hot_threshold <= 0:
+            raise ConfigError(f"hot_threshold must be positive, got {self.hot_threshold}")
+        if self.decay_ticks_per_interval <= 0:
+            raise ConfigError("decay_ticks_per_interval must be positive")
+        if self.fast_n_sets >= self.slow_n_sets:
+            raise ConfigError("fast mode must use fewer SETs than slow mode")
+        if not 0 < self.refresh_slack_fraction < 1:
+            raise ConfigError("refresh_slack_fraction must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def blocks_per_region(self) -> int:
+        """Memory blocks covered by one entry (64 for 4KB regions)."""
+        return self.region_bytes // BLOCK_BYTES
+
+    @property
+    def n_entries(self) -> int:
+        return self.n_sets * self.n_ways
+
+    @property
+    def coverage_bytes(self) -> int:
+        """Memory covered when every entry is valid (24MB by default)."""
+        return self.n_entries * self.region_bytes
+
+    def region_of_block(self, block: int) -> int:
+        """Region index containing block index *block*."""
+        return block // self.blocks_per_region
+
+    def block_offset(self, block: int) -> int:
+        """Position of *block* within its region (the vector bit index)."""
+        return block % self.blocks_per_region
+
+    def set_index(self, region: int) -> int:
+        """RRM set a region maps to."""
+        return region & (self.n_sets - 1)
+
+    # ------------------------------------------------------------------
+    # Hardware-overhead model (Table VIII)
+    # ------------------------------------------------------------------
+    @property
+    def tag_bits(self) -> int:
+        """Address bits stored per entry (full address minus in-region bits).
+
+        The paper stores 52 bits for 4KB regions out of a 64-bit address.
+        """
+        return ADDRESS_BITS - log2_int(self.region_bytes)
+
+    @property
+    def counter_bits(self) -> int:
+        """Dirty-write-counter width; 6 bits covers thresholds up to 64."""
+        return max(6, math.ceil(math.log2(self.hot_threshold + 1)))
+
+    @property
+    def decay_counter_bits(self) -> int:
+        return math.ceil(math.log2(self.decay_ticks_per_interval))
+
+    @property
+    def entry_bits(self) -> int:
+        """Bits per entry: valid + tag + hot + counter + vector + decay."""
+        return (
+            1
+            + self.tag_bits
+            + 1
+            + self.counter_bits
+            + self.blocks_per_region
+            + self.decay_counter_bits
+        )
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total RRM storage. 96KB for the default configuration."""
+        return (self.entry_bits * self.n_entries) // 8
+
+    def storage_summary(self, llc_bytes: int) -> str:
+        """Human-readable overhead line like the paper's Table IV/VIII."""
+        pct = 100.0 * self.storage_bytes / llc_bytes
+        return (
+            f"{format_bytes(self.storage_bytes)} "
+            f"({pct:.2f}% of LLC), coverage {format_bytes(self.coverage_bytes)}"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived variants (sensitivity studies)
+    # ------------------------------------------------------------------
+    def with_coverage_rate(self, llc_bytes: int, rate: int) -> "RRMConfig":
+        """A variant whose coverage is *rate* x the LLC size, varying only
+        the set count (paper Section VI-E)."""
+        target = llc_bytes * rate
+        sets = target // (self.n_ways * self.region_bytes)
+        if sets < 1 or not is_power_of_two(sets):
+            raise ConfigError(
+                f"coverage {rate}x of {format_bytes(llc_bytes)} does not yield a "
+                f"power-of-two set count (got {sets})"
+            )
+        return replace(self, n_sets=sets)
+
+    def with_hot_threshold(self, threshold: int) -> "RRMConfig":
+        """A variant with a different aggressiveness (paper Section VI-D)."""
+        return replace(self, hot_threshold=threshold)
+
+    def with_region_bytes(self, region_bytes: int) -> "RRMConfig":
+        """A variant with a different entry coverage size, keeping total
+        coverage constant by adjusting the set count (paper Section VI-F)."""
+        if region_bytes == self.region_bytes:
+            return self
+        scale = self.region_bytes / region_bytes
+        sets = int(self.n_sets * scale)
+        if sets < 1 or not is_power_of_two(sets):
+            raise ConfigError(
+                f"region size {region_bytes} does not preserve coverage with a "
+                f"power-of-two set count"
+            )
+        return replace(self, region_bytes=region_bytes, n_sets=sets)

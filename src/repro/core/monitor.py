@@ -1,0 +1,305 @@
+"""The Region Retention Monitor proper (paper Section IV).
+
+The monitor glues together the tag array, the write-mode decision, the
+selective-fast-refresh interrupt, and the decay machinery. It talks to the
+memory controller through a narrow protocol (``can_accept`` / ``enqueue``
+/ ``notify_space``) so it can be unit-tested against a stub.
+
+Timing: the monitor does not consume simulation time itself — its 4-cycle
+lookup is negligible against memory latencies (paper Table IV) — but its
+refresh requests occupy banks and its refresh queue is bounded, so refresh
+pressure is simulated faithfully.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Protocol
+
+from repro.core.config import RRMConfig
+from repro.core.entry import RRMEntry
+from repro.core.tag_array import RRMTagArray
+from repro.engine import Simulator
+from repro.errors import ConfigError
+from repro.memctrl.request import MemRequest, RequestType
+from repro.pcm.write_modes import WriteModeTable
+from repro.utils.units import s_to_ns
+
+
+class RefreshSink(Protocol):
+    """What the monitor needs from the memory controller."""
+
+    def can_accept(self, rtype: RequestType, block: int) -> bool: ...
+
+    def enqueue(self, request: MemRequest) -> None: ...
+
+    def notify_space(self, rtype, block, callback) -> None: ...
+
+
+@dataclass
+class RRMStats:
+    """Counters describing RRM behaviour during a run."""
+
+    registrations: int = 0
+    clean_writes_filtered: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    renewals: int = 0
+    evictions_with_fast_blocks: int = 0
+    fast_decisions: int = 0
+    slow_decisions: int = 0
+    fast_refreshes_issued: int = 0
+    slow_refreshes_issued: int = 0
+    refresh_interrupts: int = 0
+    decay_ticks: int = 0
+
+    @property
+    def decisions(self) -> int:
+        return self.fast_decisions + self.slow_decisions
+
+    @property
+    def fast_write_fraction(self) -> float:
+        return self.fast_decisions / self.decisions if self.decisions else 0.0
+
+
+class RegionRetentionMonitor:
+    """Tracks region write hotness and directs write modes and refreshes.
+
+    Args:
+        config: Structure/policy parameters.
+        modes: The device's write-mode table (supplies retention times
+            from which the refresh interval and deadline slack derive).
+        sim: Simulator used for the periodic refresh interrupt and decay
+            ticks. May be None for purely combinational unit tests; then
+            :meth:`start` must not be called.
+        controller: Refresh request sink. May be None in unit tests, in
+            which case refreshes are only counted.
+    """
+
+    def __init__(
+        self,
+        config: RRMConfig,
+        modes: WriteModeTable,
+        sim: Optional[Simulator] = None,
+        controller: Optional[RefreshSink] = None,
+    ) -> None:
+        self.config = config
+        self.modes = modes
+        self.sim = sim
+        self.controller = controller
+        self.tags = RRMTagArray(config)
+        self.stats = RRMStats()
+
+        fast_retention = modes.mode(config.fast_n_sets).retention_s
+        #: Interval between short-retention interrupts: the fast mode's
+        #: retention minus a safety slack (2.0s vs 2.01s in the paper).
+        self.refresh_slack_s = fast_retention * config.refresh_slack_fraction
+        self.refresh_interval_s = modes.refresh_interval_s(
+            config.fast_n_sets, slack_s=self.refresh_slack_s
+        )
+        #: Decay tick period: 1/16 of the refresh interval by default.
+        self.decay_period_s = self.refresh_interval_s / config.decay_ticks_per_interval
+
+        self._pending_refreshes: Deque[MemRequest] = deque()
+        self._draining = False
+        self._space_wait_registered = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic refresh interrupt and decay tick."""
+        if self.sim is None:
+            raise ConfigError("monitor started without a simulator")
+        if self._started:
+            raise ConfigError("monitor already started")
+        self._started = True
+        self.sim.schedule_periodic(
+            s_to_ns(self.refresh_interval_s), self.on_refresh_interrupt
+        )
+        self.sim.schedule_periodic(s_to_ns(self.decay_period_s), self.on_decay_tick)
+
+    # ------------------------------------------------------------------
+    # Input 1: LLC write registration (paper Section IV-D)
+    # ------------------------------------------------------------------
+    def register_llc_write(self, block: int, was_dirty: bool) -> None:
+        """Record one LLC write.
+
+        Only writes to *dirty* LLC entries are registered — a streaming
+        pattern touches each line once (clean), so requiring dirtiness
+        filters spatial-only locality out of the hotness statistics.
+        (``config.streaming_filter=False`` disables this, for ablation.)
+        """
+        if not was_dirty and self.config.streaming_filter:
+            self.stats.clean_writes_filtered += 1
+            return
+        self.stats.registrations += 1
+
+        region = self.config.region_of_block(block)
+        entry = self.tags.lookup(region)
+        if entry is None:
+            entry, victim = self.tags.allocate(region)
+            if victim is not None:
+                self._handle_eviction(victim)
+
+        if entry.record_dirty_write(self.config.hot_threshold):
+            self.stats.promotions += 1
+        if entry.hot:
+            entry.set_vector_bit(self.config.block_offset(block))
+
+    # ------------------------------------------------------------------
+    # Input 2 / Output 1: memory write mode decision (Section IV-E)
+    # ------------------------------------------------------------------
+    def decide_write_mode(self, block: int) -> int:
+        """SET count for a memory write to *block*.
+
+        Fast (3-SETs) iff the block's region is tracked and the block's
+        short-retention bit is set; slow (7-SETs) otherwise. The lookup
+        does not disturb LRU (it is a read of the retention array, not a
+        registration).
+        """
+        region = self.config.region_of_block(block)
+        entry = self.tags.lookup(region, touch=False)
+        if entry is not None and entry.vector_bit(self.config.block_offset(block)):
+            self.stats.fast_decisions += 1
+            return self.config.fast_n_sets
+        self.stats.slow_decisions += 1
+        return self.config.slow_n_sets
+
+    # ------------------------------------------------------------------
+    # Output 2: selective fast refresh (Section IV-F)
+    # ------------------------------------------------------------------
+    def on_refresh_interrupt(self) -> None:
+        """Re-write every short-retention block of every hot entry with the
+        fast mode, before the fast retention expires."""
+        self.stats.refresh_interrupts += 1
+        if not self.config.selective_refresh_enabled:
+            return  # fault injection: let short-retention data expire
+        deadline = None
+        if self.sim is not None:
+            deadline = self.sim.now + s_to_ns(self.refresh_slack_s)
+        for entry in self.tags.hot_entries():
+            base_block = entry.region * self.config.blocks_per_region
+            for offset in entry.short_retention_offsets():
+                self._queue_refresh(
+                    block=base_block + offset,
+                    n_sets=self.config.fast_n_sets,
+                    rtype=RequestType.RRM_REFRESH,
+                    deadline_ns=deadline,
+                )
+
+    # ------------------------------------------------------------------
+    # Decay (Section IV-G)
+    # ------------------------------------------------------------------
+    def on_decay_tick(self) -> None:
+        """Advance every entry's decay counter; re-evaluate hotness on wrap."""
+        self.stats.decay_ticks += 1
+        if not self.config.decay_enabled:
+            return
+        for entry in list(self.tags.entries()):
+            if not entry.tick_decay(self.config.decay_ticks_per_interval):
+                continue
+            if not entry.hot:
+                continue
+            if entry.reevaluate_hotness(self.config.hot_threshold):
+                self.stats.renewals += 1
+            else:
+                self._demote(entry)
+
+    def _demote(self, entry: RRMEntry) -> None:
+        """Demote a no-longer-hot entry: its short-retention blocks must be
+        rewritten with the slow mode so they survive without fast refresh."""
+        self.stats.demotions += 1
+        base_block = entry.region * self.config.blocks_per_region
+        offsets = list(entry.short_retention_offsets())
+        entry.demote()
+        for offset in offsets:
+            self._queue_refresh(
+                block=base_block + offset,
+                n_sets=self.config.slow_n_sets,
+                rtype=RequestType.RRM_SLOW_REFRESH,
+                deadline_ns=None,
+            )
+
+    def _handle_eviction(self, victim: RRMEntry) -> None:
+        """An evicted entry's short-retention blocks lose their refresh
+        coverage; rewrite them with the slow mode (the paper leaves this
+        case implicit — dropping them would corrupt data, so we rewrite,
+        controlled by ``config.refresh_on_eviction``)."""
+        if victim.short_retention_vector == 0:
+            return
+        self.stats.evictions_with_fast_blocks += 1
+        if not self.config.refresh_on_eviction:
+            return
+        base_block = victim.region * self.config.blocks_per_region
+        for offset in victim.short_retention_offsets():
+            self._queue_refresh(
+                block=base_block + offset,
+                n_sets=self.config.slow_n_sets,
+                rtype=RequestType.RRM_SLOW_REFRESH,
+                deadline_ns=None,
+            )
+
+    # ------------------------------------------------------------------
+    # Refresh dispatch with queue backpressure
+    # ------------------------------------------------------------------
+    def _queue_refresh(
+        self,
+        block: int,
+        n_sets: int,
+        rtype: RequestType,
+        deadline_ns: Optional[float],
+    ) -> None:
+        if rtype is RequestType.RRM_REFRESH:
+            self.stats.fast_refreshes_issued += 1
+        else:
+            self.stats.slow_refreshes_issued += 1
+        if self.controller is None:
+            return
+        request = MemRequest(
+            rtype=rtype, block=block, n_sets=n_sets, deadline_ns=deadline_ns
+        )
+        self._pending_refreshes.append(request)
+        if not self._space_wait_registered:
+            self._drain_refreshes()
+
+    def _drain_refreshes(self) -> None:
+        """Push pending refreshes into the controller's bounded refresh
+        queues; re-arm on space when a queue is full.
+
+        Guarded against reentrancy: enqueueing a refresh kicks the
+        scheduler, which may free a queue slot and wake this very drain —
+        the guard turns that recursive wake into a no-op since the
+        outermost call is already draining.
+        """
+        if self._draining:
+            return
+        assert self.controller is not None
+        self._draining = True
+        try:
+            while self._pending_refreshes:
+                head = self._pending_refreshes[0]
+                if not self.controller.can_accept(head.rtype, head.block):
+                    if not self._space_wait_registered:
+                        self._space_wait_registered = True
+                        self.controller.notify_space(
+                            head.rtype, head.block, self._on_refresh_space
+                        )
+                    return
+                self._pending_refreshes.popleft()
+                self.controller.enqueue(head)
+        finally:
+            self._draining = False
+
+    def _on_refresh_space(self) -> None:
+        """Wake path for refresh-queue space: exactly one waiter is kept
+        registered at a time."""
+        self._space_wait_registered = False
+        self._drain_refreshes()
+
+    @property
+    def pending_refresh_count(self) -> int:
+        """Refreshes generated but not yet accepted by the controller."""
+        return len(self._pending_refreshes)

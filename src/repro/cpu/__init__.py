@@ -1,0 +1,15 @@
+"""Trace-driven multi-core CPU model.
+
+The core model approximates the paper's 8-issue OoO cores at
+request granularity: instructions between memory events retire at a base
+CPI; loads overlap up to an MLP bound (the MSHR budget); a configurable
+fraction of loads are *blocking* (dependent — the ROB fills before the
+data returns); writebacks stall the core only through write-queue
+backpressure. These are exactly the mechanisms through which MLC PCM
+write latency reaches IPC.
+"""
+
+from repro.cpu.core_model import CoreModel, CoreParams, CoreStats
+from repro.cpu.multicore import Multicore
+
+__all__ = ["CoreModel", "CoreParams", "CoreStats", "Multicore"]

@@ -1,0 +1,286 @@
+"""Single-core execution model.
+
+The core pulls a stream of workload events — tuples
+``(kind, gap, block, dirty)`` with ``kind`` one of the constants in
+:mod:`repro.workloads.events` — and advances a local time cursor:
+
+- ``gap`` instructions retire at ``base_cpi`` cycles each;
+- ``EV_READ`` issues a memory read; up to ``mlp`` reads overlap, and a
+  configurable fraction are *blocking* (the core waits for the data);
+- ``EV_WRITE`` enqueues an LLC writeback; the core stalls only if the
+  channel's write queue is full (backpressure);
+- ``EV_REGISTER`` notifies the RRM of an LLC write (zero core time).
+
+The core re-enters the event loop whenever a stall resolves (read
+completion or queue space), so execution is fully event-driven.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.engine import Simulator
+from repro.errors import ConfigError, SimulationError
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.request import MemRequest, RequestType
+from repro.workloads.events import EV_READ, EV_REGISTER, EV_WRITE
+
+WorkloadEvent = Tuple[int, int, int, bool]
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Execution parameters of one core.
+
+    Attributes:
+        freq_ghz: Core clock frequency.
+        base_cpi: Cycles per instruction when memory never stalls (an
+            8-issue OoO core sustains well under 1.0 on SPEC).
+        mlp: Maximum overlapped outstanding reads (MSHR budget).
+        blocking_load_fraction: Fraction of loads whose consumers fill the
+            ROB before data returns, forcing the core to wait for that
+            specific read.
+    """
+
+    freq_ghz: float = 2.0
+    base_cpi: float = 0.5
+    mlp: int = 16
+    blocking_load_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ConfigError("freq_ghz must be positive")
+        if self.base_cpi <= 0:
+            raise ConfigError("base_cpi must be positive")
+        if self.mlp <= 0:
+            raise ConfigError("mlp must be positive")
+        if not 0.0 <= self.blocking_load_fraction <= 1.0:
+            raise ConfigError("blocking_load_fraction must be in [0, 1]")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.freq_ghz
+
+    @property
+    def ns_per_instruction(self) -> float:
+        return self.base_cpi * self.cycle_ns
+
+
+@dataclass
+class CoreStats:
+    """Progress and stall accounting for one core."""
+
+    retired_instructions: int = 0
+    reads_issued: int = 0
+    writes_issued: int = 0
+    registrations: int = 0
+    blocking_stalls: int = 0
+    mlp_stalls: int = 0
+    write_queue_stalls: int = 0
+    read_queue_stalls: int = 0
+
+    def ipc(self, duration_ns: float, freq_ghz: float) -> float:
+        """Instructions per cycle over *duration_ns*."""
+        cycles = duration_ns * freq_ghz
+        return self.retired_instructions / cycles if cycles > 0 else 0.0
+
+
+# Outcomes of attempting to issue a read.
+_READ_RETRY = 0    # could not issue; keep the event pending and wait
+_READ_ISSUED = 1   # issued; the core continues executing
+_READ_BLOCKED = 2  # issued, but the core must wait for the data
+
+# Wait reasons (why the core's event loop is parked).
+_W_NONE = 0
+_W_BLOCKING = 1  # waiting for a specific read's data
+_W_MLP = 2       # waiting for any read completion
+_W_SPACE = 3     # waiting for a controller queue slot
+_W_TIME = 4      # core time cursor is ahead of sim time
+
+
+class CoreModel:
+    """Drives one workload stream through the memory system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        events: Iterator[WorkloadEvent],
+        controller: MemoryController,
+        params: CoreParams = CoreParams(),
+        *,
+        write_mode_chooser=None,
+        register_sink=None,
+        end_time_ns: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        """
+        Args:
+            events: Infinite iterator of workload events.
+            write_mode_chooser: Callable block -> n_sets for writebacks
+                (the RRM's decision, or a constant for static schemes).
+            register_sink: Callable (block, was_dirty) receiving LLC write
+                registrations (the RRM, or None to drop them).
+            end_time_ns: The core parks once its time cursor passes this.
+        """
+        self.sim = sim
+        self.core_id = core_id
+        self.params = params
+        self.stats = CoreStats()
+        self._events = events
+        self._controller = controller
+        self._choose_mode = write_mode_chooser or (lambda block: 7)
+        self._register = register_sink
+        self._end_time_ns = end_time_ns
+        self._rng = random.Random(seed * 7919 + core_id)
+
+        self._t = 0.0  # core-local time cursor (ns)
+        self._outstanding = 0
+        self._wait = _W_NONE
+        self._pending: Optional[WorkloadEvent] = None
+        self._blocking_req_id: Optional[int] = None
+        self._exhausted = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin execution at the current simulation time."""
+        self.sim.schedule_at(self.sim.now, self._run)
+
+    @property
+    def parked(self) -> bool:
+        """True once the core has run past its end time or its trace."""
+        return self._exhausted or (
+            self._end_time_ns is not None and self._t >= self._end_time_ns
+        )
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        if self._wait not in (_W_NONE, _W_TIME):
+            return  # a stale wake-up; the real wake path will re-enter
+        self._wait = _W_NONE
+        while True:
+            if self._end_time_ns is not None and self._t >= self._end_time_ns:
+                return  # park: the measurement window is over for this core
+
+            event = self._pending
+            if event is None:
+                try:
+                    event = next(self._events)
+                except StopIteration:
+                    self._exhausted = True
+                    return
+                kind, gap, block, dirty = event
+                if gap:
+                    self._t += gap * self.params.ns_per_instruction
+                    self.stats.retired_instructions += gap
+                event = (kind, 0, block, dirty)
+            self._pending = event
+            kind, _, block, dirty = event
+
+            # Anything with a time cost must happen at the cursor time.
+            if self._t > self.sim.now:
+                self._wait = _W_TIME
+                self.sim.schedule_at(self._t, self._wake_time)
+                return
+
+            if kind == EV_REGISTER:
+                if self._register is not None:
+                    self._register(block, dirty)
+                self.stats.registrations += 1
+                self._pending = None
+                continue
+
+            if kind == EV_READ:
+                status = self._try_read(block)
+                if status == _READ_RETRY:
+                    return  # event stays pending; a wake path will retry
+                self._pending = None
+                if status == _READ_BLOCKED:
+                    return  # read issued; core waits for its data
+                continue
+
+            if kind == EV_WRITE:
+                if not self._try_write(block):
+                    return
+                self._pending = None
+                continue
+
+            raise SimulationError(f"unknown workload event kind: {kind}")
+
+    def _wake_time(self) -> None:
+        if self._wait == _W_TIME:
+            self._wait = _W_NONE
+            self._run()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _try_read(self, block: int) -> int:
+        if self._outstanding >= self.params.mlp:
+            self._wait = _W_MLP
+            self.stats.mlp_stalls += 1
+            return _READ_RETRY
+        if not self._controller.can_accept(RequestType.READ, block):
+            self._wait = _W_SPACE
+            self.stats.read_queue_stalls += 1
+            self._controller.notify_space(RequestType.READ, block, self._wake_space)
+            return _READ_RETRY
+
+        blocking = self._rng.random() < self.params.blocking_load_fraction
+        request = MemRequest(rtype=RequestType.READ, block=block, core=self.core_id)
+        request.on_complete = lambda finish: self._on_read_complete(
+            request.req_id, finish
+        )
+        if blocking:
+            self._blocking_req_id = request.req_id
+        self._controller.enqueue(request)
+        self._outstanding += 1
+        self.stats.reads_issued += 1
+        if blocking:
+            self._wait = _W_BLOCKING
+            self.stats.blocking_stalls += 1
+            return _READ_BLOCKED
+        return _READ_ISSUED
+
+    def _on_read_complete(self, req_id: int, finish_ns: float) -> None:
+        self._outstanding -= 1
+        if self._outstanding < 0:
+            raise SimulationError("core outstanding-read count went negative")
+        if self._wait == _W_BLOCKING:
+            if req_id != self._blocking_req_id:
+                return  # still waiting for the dependent load's data
+            self._blocking_req_id = None
+            self._wait = _W_NONE
+            self._t = max(self._t, finish_ns)
+            self._run()
+        elif self._wait == _W_MLP:
+            self._wait = _W_NONE
+            self._t = max(self._t, finish_ns)
+            self._run()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _try_write(self, block: int) -> bool:
+        if not self._controller.can_accept(RequestType.WRITE, block):
+            self._wait = _W_SPACE
+            self.stats.write_queue_stalls += 1
+            self._controller.notify_space(RequestType.WRITE, block, self._wake_space)
+            return False
+        n_sets = self._choose_mode(block)
+        request = MemRequest(
+            rtype=RequestType.WRITE, block=block, n_sets=n_sets, core=self.core_id
+        )
+        self._controller.enqueue(request)
+        self.stats.writes_issued += 1
+        return True
+
+    def _wake_space(self) -> None:
+        if self._wait == _W_SPACE:
+            self._wait = _W_NONE
+            self._t = max(self._t, self.sim.now)
+            self._run()

@@ -1,0 +1,77 @@
+"""Multi-core assembly: one CoreModel per workload stream."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.cpu.core_model import CoreModel, CoreParams, WorkloadEvent
+from repro.engine import Simulator
+from repro.errors import ConfigError
+from repro.memctrl.controller import MemoryController
+
+
+class Multicore:
+    """Owns N cores and their shared progress accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: MemoryController,
+        event_streams: List[Iterator[WorkloadEvent]],
+        params: CoreParams = CoreParams(),
+        *,
+        write_mode_chooser: Optional[Callable[[int], int]] = None,
+        register_sink=None,
+        end_time_ns: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if not event_streams:
+            raise ConfigError("at least one core workload stream is required")
+        self.params = params
+        self.cores = [
+            CoreModel(
+                sim,
+                core_id,
+                stream,
+                controller,
+                params,
+                write_mode_chooser=write_mode_chooser,
+                register_sink=register_sink,
+                end_time_ns=end_time_ns,
+                seed=seed,
+            )
+            for core_id, stream in enumerate(event_streams)
+        ]
+
+    def start(self) -> None:
+        """Start every core at the current simulation time."""
+        for core in self.cores:
+            core.start()
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def total_instructions(self) -> int:
+        return sum(core.stats.retired_instructions for core in self.cores)
+
+    def per_core_ipc(self, duration_ns: float) -> List[float]:
+        return [
+            core.stats.ipc(duration_ns, self.params.freq_ghz) for core in self.cores
+        ]
+
+    def aggregate_ipc(self, duration_ns: float) -> float:
+        """Sum of per-core IPCs (the paper's throughput metric)."""
+        return sum(self.per_core_ipc(duration_ns))
+
+    def stall_summary(self) -> dict:
+        """Aggregate stall counters across cores (diagnostics)."""
+        keys = (
+            "blocking_stalls",
+            "mlp_stalls",
+            "write_queue_stalls",
+            "read_queue_stalls",
+        )
+        return {
+            key: sum(getattr(core.stats, key) for core in self.cores) for key in keys
+        }

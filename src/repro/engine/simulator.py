@@ -1,0 +1,152 @@
+"""Heap-based discrete-event simulator.
+
+The engine is intentionally minimal: a priority queue of ``(time, seq)``
+keyed events, a current-time cursor, and helpers for periodic events. All
+higher-level behaviour (memory scheduling, refresh interrupts, decay ticks)
+is built from these primitives.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so simultaneous events fire in the
+    order they were scheduled — this keeps runs deterministic, which the
+    test suite relies on.
+    """
+
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulation core.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule_at(100.0, lambda: ...)
+        sim.run(until=1_000_000.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> Event:
+        """Schedule *callback* at absolute *time* (ns). Returns the event."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule *callback* after *delay* ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: EventCallback,
+        *,
+        start: Optional[float] = None,
+    ) -> Event:
+        """Schedule *callback* to repeat every *period* ns.
+
+        The first firing is at *start* (default: one period from now). The
+        returned event is the first occurrence; cancelling it stops the
+        chain only before it first fires. For a stoppable periodic task,
+        have the callback raise StopIteration — the chain then ends.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        first = self._now + period if start is None else start
+
+        def tick() -> None:
+            try:
+                callback()
+            except StopIteration:
+                return
+            self.schedule_after(period, tick)
+
+        return self.schedule_at(first, tick)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue empties, *until* is reached, or
+        *max_events* callbacks have run. Returns the final simulation time.
+
+        When *until* is given, time advances exactly to *until* even if the
+        last event fires earlier, so rate computations (events / elapsed
+        time) are well defined.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        try:
+            while self._queue and not self._stopped:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback()
+                self._events_processed += 1
+                processed_this_run += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid internal state."""
+
+
+class QueueFullError(SimulationError):
+    """A bounded hardware queue received a request while full.
+
+    Memory-controller queues apply backpressure instead of raising; this
+    error signals a protocol violation (an unchecked enqueue).
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record could not be parsed."""
+
+
+class RetentionViolationError(SimulationError):
+    """A short-retention block was not refreshed before its data expired.
+
+    The paper reports never observing this with the default configuration;
+    we raise (or record, depending on policy) so misconfigured systems are
+    detected rather than silently losing data.
+    """

@@ -1,0 +1,23 @@
+"""Memory controller: address decoding, bounded priority queues and the
+per-channel scheduler with write pausing and open-page policy.
+
+Queue priorities follow the paper's Table V: the RRM refresh queue has the
+highest priority (its requests carry a hard retention deadline), then the
+read queue, then the write queue.
+"""
+
+from repro.memctrl.address_map import AddressMap, DecodedAddress
+from repro.memctrl.request import MemRequest, RequestType
+from repro.memctrl.queues import BoundedQueue, QueueSet
+from repro.memctrl.controller import ControllerStats, MemoryController
+
+__all__ = [
+    "AddressMap",
+    "DecodedAddress",
+    "MemRequest",
+    "RequestType",
+    "BoundedQueue",
+    "QueueSet",
+    "ControllerStats",
+    "MemoryController",
+]

@@ -1,0 +1,356 @@
+"""Per-channel memory scheduler.
+
+Scheduling policy (paper Table V):
+
+- three bounded queues per channel — RRM refresh (highest priority), read
+  (middle), write (lowest);
+- FR-FCFS within a queue: the oldest request whose bank can accept it wins,
+  searched within a small associative window;
+- open-page row-buffer policy for reads; writes are write-through and
+  bypass the row buffer;
+- write pausing: reads may preempt an in-flight write at SET boundaries;
+- watermark-based write drain: because writes have the lowest priority,
+  they issue only when no reads are waiting or when the write queue climbs
+  above a high watermark (hysteresis down to a low watermark), which is how
+  real controllers avoid both read interference and write-queue deadlock.
+
+Backpressure is explicit: producers must call :meth:`MemoryController.can_accept`
+first; when a queue is full they register a callback with
+:meth:`MemoryController.notify_space` and are woken when space frees. This
+is the mechanism through which long write latencies reach the CPU: the
+write queue backs up, the LLC cannot evict, and the core stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine import Simulator
+from repro.errors import ConfigError, SimulationError
+from repro.memctrl.address_map import AddressMap
+from repro.memctrl.queues import QueueSet
+from repro.memctrl.request import MemRequest, RequestType
+from repro.pcm.device import PCMDevice
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate controller statistics for one run."""
+
+    reads_completed: int = 0
+    writes_completed: int = 0
+    rrm_refreshes_completed: int = 0
+    rrm_slow_refreshes_completed: int = 0
+    fast_writes: int = 0
+    slow_writes: int = 0
+    read_latency_sum_ns: float = 0.0
+    write_latency_sum_ns: float = 0.0
+    retention_violations: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        if not self.reads_completed:
+            return 0.0
+        return self.read_latency_sum_ns / self.reads_completed
+
+    @property
+    def avg_write_latency_ns(self) -> float:
+        if not self.writes_completed:
+            return 0.0
+        return self.write_latency_sum_ns / self.writes_completed
+
+    @property
+    def row_hit_rate(self) -> float:
+        accesses = self.row_hits + self.row_misses
+        return self.row_hits / accesses if accesses else 0.0
+
+
+CompletionListener = Callable[[MemRequest], None]
+
+
+class MemoryController:
+    """Schedules memory requests onto the PCM device banks."""
+
+    #: Associative search depth for FR-FCFS queue scans.
+    SCHED_WINDOW = 8
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: PCMDevice,
+        address_map: Optional[AddressMap] = None,
+        *,
+        refresh_queue_capacity: int = 64,
+        read_queue_capacity: int = 32,
+        write_queue_capacity: int = 64,
+        write_drain_high: Optional[int] = None,
+        write_drain_low: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.address_map = address_map or AddressMap(
+            n_channels=device.n_channels,
+            banks_per_channel=device.banks_per_channel,
+            row_bytes=device.row_bytes,
+            size_bytes=device.size_bytes,
+        )
+        self.stats = ControllerStats()
+        self._queues: List[QueueSet] = [
+            QueueSet(
+                refresh_capacity=refresh_queue_capacity,
+                read_capacity=read_queue_capacity,
+                write_capacity=write_queue_capacity,
+            )
+            for _ in range(device.n_channels)
+        ]
+        self._write_drain_high = (
+            write_drain_high if write_drain_high is not None else (write_queue_capacity * 3) // 4
+        )
+        self._write_drain_low = (
+            write_drain_low if write_drain_low is not None else write_queue_capacity // 4
+        )
+        if not 0 <= self._write_drain_low <= self._write_drain_high <= write_queue_capacity:
+            raise ConfigError("write drain watermarks out of order")
+        self._draining_writes = [False] * device.n_channels
+        #: Issued-but-unfinished request count per flat bank index.
+        self._bank_inflight: List[int] = [0] * device.n_banks
+        #: Issued-but-unfinished request count per channel.
+        self._channel_inflight: List[int] = [0] * device.n_channels
+        #: Banks flattened channel-major, matching the flat bank index.
+        self._banks_flat = device.banks()
+        self._banks_per_channel = device.banks_per_channel
+        #: Per flat bank index: the in-flight write request and its
+        #: completion event, so pausing reads can push the completion back.
+        self._inflight_write: List[Optional[tuple]] = [None] * device.n_banks
+        #: Per-channel queue tuples in priority order (hot-path cache).
+        self._priority_queues = [
+            tuple(qs.in_priority_order()) for qs in self._queues
+        ]
+        #: Space waiters per (channel, request class name).
+        self._space_waiters: Dict[Tuple[int, str], List[Callable[[], None]]] = {}
+        self._completion_listeners: List[CompletionListener] = []
+
+    # ------------------------------------------------------------------
+    # Producer-facing API
+    # ------------------------------------------------------------------
+    def add_completion_listener(self, listener: CompletionListener) -> None:
+        """Register a callback fired on every request completion."""
+        self._completion_listeners.append(listener)
+
+    def channel_of(self, block: int) -> int:
+        return self.address_map.channel_of_block(block)
+
+    def can_accept(self, rtype: RequestType, block: int) -> bool:
+        """Whether the queue a (*rtype*, *block*) request maps to has room."""
+        channel = self.address_map.channel_of_block(block)
+        return not self._queues[channel].queue_for(rtype).full
+
+    def enqueue(self, request: MemRequest) -> None:
+        """Accept a request. The caller must have checked :meth:`can_accept`."""
+        request.decoded = decoded = self.address_map.decode_block(request.block)
+        request.bank_index = decoded.channel * self._banks_per_channel + decoded.bank
+        request.issue_time_ns = self.sim.now
+        self._queues[decoded.channel].queue_for(request.rtype).push(request)
+        self._kick(decoded.channel)
+
+    def notify_space(self, rtype: RequestType, block: int, callback: Callable[[], None]) -> None:
+        """Invoke *callback* once the queue for (*rtype*, *block*) frees a slot.
+
+        One-shot: the callback is dropped after firing and should re-check
+        :meth:`can_accept` (another producer may have raced for the slot).
+        """
+        channel = self.channel_of(block)
+        key = (channel, self._queues[channel].queue_for(rtype).name)
+        self._space_waiters.setdefault(key, []).append(callback)
+
+    def pending_requests(self) -> int:
+        """Requests sitting in any queue (not yet issued to a bank)."""
+        return sum(qs.total_pending for qs in self._queues)
+
+    def inflight_requests(self) -> int:
+        """Requests issued to banks but not yet completed."""
+        return sum(self._bank_inflight)
+
+    def idle(self) -> bool:
+        """True when no request is queued or in flight."""
+        return self.pending_requests() == 0 and self.inflight_requests() == 0
+
+    # ------------------------------------------------------------------
+    # Scheduler core
+    # ------------------------------------------------------------------
+    def _kick(self, channel: int) -> None:
+        """Issue every request that can be serviced on *channel* right now.
+
+        Hot path: the per-queue scan is inlined (no per-entry callback) and
+        queues other than the read queue are skipped outright when every
+        bank on the channel is busy — only reads can still start, by
+        pausing an in-flight write.
+        """
+        queues = self._queues[channel]
+        read_queue = queues.read_queue
+        now = self.sim.now
+        inflight = self._bank_inflight
+        banks = self._banks_flat
+        window = self.SCHED_WINDOW
+        read_type = RequestType.READ
+
+        self._update_drain_state(channel)
+
+        while True:
+            free_banks = self._banks_per_channel - self._channel_inflight[channel]
+            issued = False
+            for queue in self._priority_queues[channel]:
+                if free_banks == 0 and queue is not read_queue:
+                    continue
+                entries = queue._entries
+                if not entries:
+                    continue
+                if queue is queues.write_queue and not self._write_issue_allowed(channel):
+                    continue
+                pick = -1
+                limit = min(len(entries), window)
+                for i in range(limit):
+                    req = entries[i]
+                    n = inflight[req.bank_index]
+                    if n == 0:
+                        pick = i
+                        break
+                    if n == 1 and req.rtype is read_type:
+                        bank = banks[req.bank_index]
+                        # A single in-flight pausable write lets a read cut in.
+                        if bank.read_start_time(now) < bank.available_at(now):
+                            pick = i
+                            break
+                if pick >= 0:
+                    request = entries[pick]
+                    del entries[pick]
+                    self._issue(channel, request)
+                    self._wake_space_waiters(channel, queue.name)
+                    issued = True
+                    break  # restart from the highest-priority queue
+            if not issued:
+                return
+
+    def _write_issue_allowed(self, channel: int) -> bool:
+        """Writes issue when draining or when no higher-priority work waits."""
+        queues = self._queues[channel]
+        if self._draining_writes[channel]:
+            return True
+        return queues.read_queue.empty and queues.refresh_queue.empty
+
+    def _update_drain_state(self, channel: int) -> None:
+        occupancy = len(self._queues[channel].write_queue)
+        if occupancy >= self._write_drain_high:
+            self._draining_writes[channel] = True
+        elif occupancy <= self._write_drain_low:
+            self._draining_writes[channel] = False
+
+    def _bank_ready(self, request: MemRequest, now: float) -> bool:
+        """Whether *request*'s bank can take it (free, or pausable for
+        reads). Kept as the documented single-request predicate; the kick
+        loop inlines the same logic."""
+        inflight = self._bank_inflight[request.bank_index]
+        if inflight == 0:
+            return True
+        if request.rtype is RequestType.READ and inflight == 1:
+            bank = self._banks_flat[request.bank_index]
+            return bank.read_start_time(now) < bank.available_at(now)
+        return False
+
+    def _issue(self, channel: int, request: MemRequest) -> None:
+        decoded = request.decoded
+        bank = self.device.bank(decoded.channel, decoded.bank)
+        now = self.sim.now
+
+        is_write = request.rtype is not RequestType.READ
+        if not is_write:
+            start, finish, hit = bank.schedule_read(now, decoded.row)
+            if hit:
+                self.stats.row_hits += 1
+            else:
+                self.stats.row_misses += 1
+        else:
+            if request.n_sets is None:
+                raise SimulationError(f"write request without a mode: {request}")
+            mode = self.device.modes.mode(request.n_sets)
+            start, finish = bank.schedule_write(
+                now, decoded.row, mode.latency_ns, mode.set_boundaries_ns
+            )
+
+        request.start_time_ns = start
+        request.finish_time_ns = finish
+        self._bank_inflight[request.bank_index] += 1
+        self._channel_inflight[channel] += 1
+        event = self.sim.schedule_at(finish, lambda: self._complete(channel, request))
+        if is_write:
+            self._inflight_write[request.bank_index] = (request, event)
+        else:
+            self._reschedule_paused_write(channel, request.bank_index, bank)
+
+    def _reschedule_paused_write(self, channel: int, bank_index: int, bank) -> None:
+        """If the read just issued paused this bank's in-flight write, move
+        the write's completion event to the extended finish time."""
+        entry = self._inflight_write[bank_index]
+        if entry is None:
+            return
+        write_request, event = entry
+        new_end = bank.write_end_time()
+        if new_end is None or new_end <= write_request.finish_time_ns:
+            return
+        event.cancel()
+        write_request.finish_time_ns = new_end
+        new_event = self.sim.schedule_at(
+            new_end, lambda: self._complete(channel, write_request)
+        )
+        self._inflight_write[bank_index] = (write_request, new_event)
+
+    def _complete(self, channel: int, request: MemRequest) -> None:
+        self._bank_inflight[request.bank_index] -= 1
+        self._channel_inflight[channel] -= 1
+        if self._bank_inflight[request.bank_index] < 0:
+            raise SimulationError("bank in-flight count went negative")
+        entry = self._inflight_write[request.bank_index]
+        if entry is not None and entry[0] is request:
+            self._inflight_write[request.bank_index] = None
+
+        finish = request.finish_time_ns
+        assert finish is not None
+        latency = finish - request.issue_time_ns
+
+        if request.rtype is RequestType.READ:
+            self.stats.reads_completed += 1
+            self.stats.read_latency_sum_ns += latency
+        elif request.rtype is RequestType.WRITE:
+            self.stats.writes_completed += 1
+            self.stats.write_latency_sum_ns += latency
+            self._count_write_mode(request)
+        elif request.rtype is RequestType.RRM_REFRESH:
+            self.stats.rrm_refreshes_completed += 1
+        else:
+            self.stats.rrm_slow_refreshes_completed += 1
+
+        if request.deadline_ns is not None and finish > request.deadline_ns:
+            self.stats.retention_violations += 1
+
+        if request.on_complete is not None:
+            request.on_complete(finish)
+        for listener in self._completion_listeners:
+            listener(request)
+
+        self._kick(channel)
+
+    def _count_write_mode(self, request: MemRequest) -> None:
+        if request.n_sets == self.device.modes.fast.n_sets:
+            self.stats.fast_writes += 1
+        elif request.n_sets == self.device.modes.slow.n_sets:
+            self.stats.slow_writes += 1
+
+    def _wake_space_waiters(self, channel: int, queue_name: str) -> None:
+        waiters = self._space_waiters.pop((channel, queue_name), None)
+        if not waiters:
+            return
+        for callback in waiters:
+            callback()

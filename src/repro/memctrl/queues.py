@@ -1,0 +1,107 @@
+"""Bounded request queues with the paper's priority ordering.
+
+Each channel owns a :class:`QueueSet`: an RRM refresh queue (64 entries,
+highest priority), a read queue (32 entries, middle priority) and a write
+queue (64 entries, lowest priority). Queues are FIFO within a class; the
+scheduler may still pick a younger request whose bank is free (FR-FCFS
+style) via :meth:`BoundedQueue.pop_first_ready`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Iterable, List, Optional
+
+from repro.errors import QueueFullError
+from repro.memctrl.request import MemRequest, RequestType
+
+
+@dataclass
+class BoundedQueue:
+    """FIFO queue with a hardware capacity."""
+
+    capacity: int
+    name: str = "queue"
+    _entries: Deque[MemRequest] = field(default_factory=deque)
+    peak_occupancy: int = 0
+    total_enqueued: int = 0
+    rejected: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, request: MemRequest) -> None:
+        """Enqueue; raises :class:`QueueFullError` if at capacity.
+
+        Callers that model backpressure must check :attr:`full` first —
+        an unchecked overflow is a protocol bug, not a hardware behaviour.
+        """
+        if self.full:
+            self.rejected += 1
+            raise QueueFullError(f"{self.name} full at {self.capacity} entries")
+        self._entries.append(request)
+        self.total_enqueued += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+
+    def pop(self) -> MemRequest:
+        """Dequeue the oldest request."""
+        return self._entries.popleft()
+
+    def peek(self) -> Optional[MemRequest]:
+        return self._entries[0] if self._entries else None
+
+    def pop_first_ready(
+        self, is_ready: Callable[[MemRequest], bool], window: int = 8
+    ) -> Optional[MemRequest]:
+        """Remove and return the oldest request satisfying *is_ready*,
+        searching at most *window* entries from the head (FR-FCFS with a
+        bounded associative search, like real schedulers)."""
+        for index, request in enumerate(self._entries):
+            if index >= window:
+                break
+            if is_ready(request):
+                del self._entries[index]
+                return request
+        return None
+
+    def __iter__(self) -> Iterable[MemRequest]:
+        return iter(self._entries)
+
+
+@dataclass
+class QueueSet:
+    """The three per-channel queues, in priority order."""
+
+    refresh_capacity: int = 64
+    read_capacity: int = 32
+    write_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        self.refresh_queue = BoundedQueue(self.refresh_capacity, name="rrm-refresh-q")
+        self.read_queue = BoundedQueue(self.read_capacity, name="read-q")
+        self.write_queue = BoundedQueue(self.write_capacity, name="write-q")
+
+    def queue_for(self, rtype: RequestType) -> BoundedQueue:
+        """The queue a request class maps to."""
+        if rtype in (RequestType.RRM_REFRESH, RequestType.RRM_SLOW_REFRESH):
+            return self.refresh_queue
+        if rtype is RequestType.READ:
+            return self.read_queue
+        return self.write_queue
+
+    def in_priority_order(self) -> List[BoundedQueue]:
+        """Queues from highest to lowest scheduling priority."""
+        return [self.refresh_queue, self.read_queue, self.write_queue]
+
+    @property
+    def total_pending(self) -> int:
+        return sum(len(q) for q in self.in_priority_order())

@@ -1,0 +1,75 @@
+"""Memory request records exchanged between CPU/RRM and the controller."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+_request_ids = itertools.count()
+
+
+class RequestType(enum.Enum):
+    """Classes of memory traffic, ordered by controller priority."""
+
+    #: RRM selective refresh (fast, 3-SETs) — hard retention deadline.
+    RRM_REFRESH = "rrm_refresh"
+    #: Demotion rewrite (slow, 7-SETs) issued when a hot entry decays.
+    RRM_SLOW_REFRESH = "rrm_slow_refresh"
+    #: Demand read (LLC miss fill).
+    READ = "read"
+    #: Demand write (LLC dirty writeback).
+    WRITE = "write"
+
+
+@dataclass
+class MemRequest:
+    """One block-granularity memory request.
+
+    Attributes:
+        rtype: Traffic class.
+        block: Block index (byte address >> 6).
+        n_sets: Write mode (SET count) for writes/refreshes; None for reads.
+        issue_time_ns: When the requester handed it to the controller.
+        deadline_ns: Absolute completion deadline (RRM refreshes carry the
+            retention expiry time; the controller records violations).
+        core: Originating core id for demand traffic (stats only).
+        on_complete: Callback fired when service finishes, with the
+            completion time — used by the CPU model to unblock loads.
+    """
+
+    rtype: RequestType
+    block: int
+    n_sets: Optional[int] = None
+    issue_time_ns: float = 0.0
+    deadline_ns: Optional[float] = None
+    core: Optional[int] = None
+    on_complete: Optional[Callable[[float], None]] = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    start_time_ns: Optional[float] = None
+    finish_time_ns: Optional[float] = None
+    #: Decoded device coordinates, filled once by the controller at
+    #: enqueue so scheduler scans never re-decode.
+    decoded: object = None
+    #: Flat bank index (channel * banks_per_channel + bank), also filled
+    #: at enqueue; lets the scheduler's ready-scan use a list lookup.
+    bank_index: int = -1
+
+    @property
+    def is_write(self) -> bool:
+        return self.rtype is not RequestType.READ
+
+    @property
+    def latency_ns(self) -> Optional[float]:
+        """Queue + service latency, if the request has completed."""
+        if self.finish_time_ns is None:
+            return None
+        return self.finish_time_ns - self.issue_time_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemRequest({self.rtype.value}, block={self.block}, "
+            f"n_sets={self.n_sets}, t={self.issue_time_ns})"
+        )

@@ -1,0 +1,187 @@
+"""PCM bank model: row buffer, busy tracking and write pausing.
+
+Banks are the unit of service concurrency inside the PCM device. Each bank
+has a row buffer managed with an open-page policy; writes go *through* the
+bank (bypassing the row buffer, paper Table V) and occupy it for the write
+pulse time; reads occupy it for the activate/access time.
+
+Write pausing (Qureshi et al., HPCA 2010) lets a read preempt an in-flight
+write at the next SET-iteration boundary; the paused write resumes once
+the read completes. This is the key mechanism through which long writes
+hurt read latency — and thus why the paper's fast 3-SETs writes improve
+IPC so much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.pcm.timing import PCMTimings
+
+
+@dataclass
+class RowBuffer:
+    """Open-page row buffer of one bank."""
+
+    open_row: Optional[int] = None
+    hits: int = 0
+    misses: int = 0
+
+    def access(self, row: int) -> bool:
+        """Access *row*; returns True on a row-buffer hit and updates the
+        open row on a miss."""
+        if self.open_row == row:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.open_row = row
+        return False
+
+
+@dataclass
+class _InFlightWrite:
+    """Book-keeping for a write currently occupying the bank."""
+
+    start_ns: float
+    end_ns: float
+    #: Absolute times at which the write may be paused.
+    boundaries_ns: Tuple[float, ...]
+    pauses: int = 0
+
+
+@dataclass
+class Bank:
+    """One PCM bank.
+
+    The bank does not know about queues or priorities — the memory
+    controller decides *what* to schedule; the bank answers *when* it can
+    be serviced and tracks occupancy.
+    """
+
+    timings: PCMTimings = field(default_factory=PCMTimings)
+    allow_write_pausing: bool = True
+    max_pauses_per_write: int = 4
+
+    row_buffer: RowBuffer = field(default_factory=RowBuffer)
+    busy_until: float = 0.0
+    reads_served: int = 0
+    writes_served: int = 0
+    write_pauses: int = 0
+    busy_time_ns: float = 0.0
+
+    _in_flight_write: Optional[_InFlightWrite] = None
+
+    def available_at(self, now: float) -> float:
+        """Earliest time the bank can begin a new non-preempting operation."""
+        return max(now, self.busy_until)
+
+    def read_start_time(self, now: float) -> float:
+        """Earliest time a *read* could start, exploiting write pausing."""
+        if (
+            self.allow_write_pausing
+            and self._in_flight_write is not None
+            and now < self._in_flight_write.end_ns
+            and self._in_flight_write.pauses < self.max_pauses_per_write
+        ):
+            boundary = self._next_pause_boundary(now)
+            if boundary is not None:
+                return max(now, boundary)
+        return self.available_at(now)
+
+    def schedule_read(self, now: float, row: int) -> Tuple[float, float, bool]:
+        """Schedule a block read of *row* at or after *now*.
+
+        Returns ``(start, finish, row_hit)``. If a pausable write is in
+        flight, the read preempts it at the next SET boundary and the write
+        is pushed back by the read's service time.
+        """
+        write = self._in_flight_write
+        paused = False
+        if (
+            self.allow_write_pausing
+            and write is not None
+            and now < write.end_ns
+            and write.pauses < self.max_pauses_per_write
+        ):
+            boundary = self._next_pause_boundary(now)
+            if boundary is not None:
+                start = max(now, boundary)
+                paused = True
+            else:
+                start = self.available_at(now)
+        else:
+            start = self.available_at(now)
+
+        hit = self.row_buffer.access(row)
+        service = self.timings.row_hit_read_ns if hit else self.timings.row_miss_read_ns
+        finish = start + service
+
+        if paused and write is not None:
+            remaining = write.end_ns - start
+            if remaining < 0:
+                raise SimulationError("pause boundary after write end")
+            write.end_ns = finish + remaining
+            write.pauses += 1
+            # Shift the not-yet-executed boundaries past the read.
+            write.boundaries_ns = tuple(
+                b + service if b > start else b for b in write.boundaries_ns
+            )
+            self.write_pauses += 1
+            self.busy_until = write.end_ns
+        else:
+            self.busy_until = max(self.busy_until, finish)
+
+        self.reads_served += 1
+        self.busy_time_ns += service
+        return start, finish, hit
+
+    def schedule_write(
+        self,
+        now: float,
+        row: int,
+        latency_ns: float,
+        pause_boundaries_ns: Tuple[float, ...] = (),
+    ) -> Tuple[float, float]:
+        """Schedule a block write at or after *now*; returns (start, finish).
+
+        *pause_boundaries_ns* are offsets from the write start at which the
+        write may later be paused by a read (the write mode's SET
+        boundaries).
+        """
+        start = self.available_at(now)
+        finish = start + latency_ns
+        self._in_flight_write = _InFlightWrite(
+            start_ns=start,
+            end_ns=finish,
+            boundaries_ns=tuple(start + b for b in pause_boundaries_ns),
+        )
+        self.busy_until = finish
+        self.writes_served += 1
+        self.busy_time_ns += latency_ns
+        # Write-through: the row buffer is bypassed, so the open row is
+        # unchanged (paper Table V, "Misc").
+        if not self.timings.write_through:
+            self.row_buffer.access(row)
+        return start, finish
+
+    def write_end_time(self) -> Optional[float]:
+        """Finish time of the in-flight write, if any."""
+        if self._in_flight_write is None:
+            return None
+        return self._in_flight_write.end_ns
+
+    def _next_pause_boundary(self, now: float) -> Optional[float]:
+        """Next absolute pause point of the in-flight write at/after *now*."""
+        write = self._in_flight_write
+        if write is None:
+            return None
+        candidates = [b for b in write.boundaries_ns if b >= now and b < write.end_ns]
+        return min(candidates) if candidates else None
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of *elapsed_ns* the bank spent busy."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_ns / elapsed_ns)

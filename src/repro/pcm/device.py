@@ -1,0 +1,114 @@
+"""The assembled multi-channel MLC PCM device.
+
+A :class:`PCMDevice` owns the bank array, the write-mode table, and the
+built-in self-refresh circuit. Per the paper (Section IV-F), global
+refreshes — rewriting every block with the long-retention mode before its
+retention expires — are handled by the device itself and are accounted
+analytically for wear and energy, not simulated per block (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigError
+from repro.pcm.bank import Bank
+from repro.pcm.energy import EnergyModel
+from repro.pcm.endurance import WearTracker
+from repro.pcm.timing import PCMTimings
+from repro.pcm.write_modes import WriteModeTable
+
+#: Memory block (cache line) size in bytes.
+BLOCK_BYTES = 64
+
+
+@dataclass
+class PCMDevice:
+    """Banks + write modes + self-refresh circuit for one memory system.
+
+    Attributes:
+        size_bytes: Total device capacity.
+        n_channels: Independent channels (each with its own bus).
+        banks_per_channel: Banks per channel.
+        row_bytes: Bytes per row (the activation granularity feeding the
+            row buffer; 1KB row-buffer slice of a 16KB row in the paper —
+            we use the row-buffer size since that defines hit behaviour).
+        timings: Shared timing parameters.
+        modes: Write-mode table (drift-model derived).
+    """
+
+    size_bytes: int
+    n_channels: int = 4
+    banks_per_channel: int = 16
+    row_bytes: int = 1024
+    timings: PCMTimings = field(default_factory=PCMTimings)
+    modes: WriteModeTable = field(default_factory=WriteModeTable)
+    allow_write_pausing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.size_bytes % BLOCK_BYTES:
+            raise ConfigError("device size must be a positive multiple of 64B")
+        if self.n_channels <= 0 or self.banks_per_channel <= 0:
+            raise ConfigError("channel/bank counts must be positive")
+        if self.row_bytes <= 0 or self.row_bytes % BLOCK_BYTES:
+            raise ConfigError("row size must be a positive multiple of 64B")
+        self._banks: List[List[Bank]] = [
+            [
+                Bank(timings=self.timings, allow_write_pausing=self.allow_write_pausing)
+                for _ in range(self.banks_per_channel)
+            ]
+            for _ in range(self.n_channels)
+        ]
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of 64-byte blocks in the device."""
+        return self.size_bytes // BLOCK_BYTES
+
+    @property
+    def blocks_per_row(self) -> int:
+        return self.row_bytes // BLOCK_BYTES
+
+    @property
+    def n_banks(self) -> int:
+        return self.n_channels * self.banks_per_channel
+
+    def bank(self, channel: int, bank: int) -> Bank:
+        """The :class:`Bank` at (*channel*, *bank*)."""
+        return self._banks[channel][bank]
+
+    def banks(self) -> List[Bank]:
+        """All banks, flattened (channel-major)."""
+        return [b for channel in self._banks for b in channel]
+
+    def global_refresh_rounds(self, duration_s: float, interval_s: float) -> float:
+        """How many full-device refresh sweeps occur in *duration_s*.
+
+        The self-refresh circuit rewrites each block once per *interval_s*.
+        Fractional rounds are meaningful: half an interval of elapsed time
+        wears the device by half a sweep on average.
+        """
+        if duration_s < 0:
+            raise ValueError("negative duration")
+        if interval_s <= 0:
+            raise ConfigError("refresh interval must be positive")
+        return duration_s / interval_s
+
+    def account_global_refresh(
+        self,
+        duration_s: float,
+        interval_s: float,
+        n_sets: int,
+        wear: WearTracker,
+        energy: EnergyModel,
+    ) -> float:
+        """Apply analytic global-refresh wear and energy for a run.
+
+        Returns the number of block rewrites accounted.
+        """
+        rounds = self.global_refresh_rounds(duration_s, interval_s)
+        if rounds > 0:
+            wear.record_global_refresh_round(self.n_blocks, rounds)
+            energy.record_global_refresh(n_sets, int(round(self.n_blocks * rounds)))
+        return self.n_blocks * rounds

@@ -1,0 +1,55 @@
+"""Device timing parameters (paper Table V).
+
+All values in nanoseconds unless noted. The defaults reproduce the paper's
+MLC PCM configuration: 400MHz bus (2.5ns cycles), tRCD of 48 cycles, tCAS
+of 1 cycle, and per-mode write pulse times equal to the write-mode latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Memory bus clock period for the paper's 400MHz device.
+BUS_CYCLE_NS = 2.5
+
+
+@dataclass(frozen=True)
+class PCMTimings:
+    """Timing constraints of the PCM device.
+
+    Attributes:
+        t_rcd_ns: Row-to-column delay — activating a row into the row
+            buffer (48 cycles = 120ns in the paper).
+        t_cas_ns: Column access latency on a row-buffer hit (1 cycle).
+        t_faw_ns: Four-activation window constraint.
+        bus_cycle_ns: Bus clock period.
+        data_burst_ns: Time to transfer one 64-byte block over the 64-bit
+            bus (8 bus cycles).
+        write_through: Paper's controller writes through, bypassing the row
+            buffer, so writes pay the full write-pulse time but do not
+            disturb the open row.
+    """
+
+    t_rcd_ns: float = 48 * BUS_CYCLE_NS
+    t_cas_ns: float = 1 * BUS_CYCLE_NS
+    t_faw_ns: float = 50.0
+    bus_cycle_ns: float = BUS_CYCLE_NS
+    data_burst_ns: float = 8 * BUS_CYCLE_NS
+    write_through: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd_ns", "t_cas_ns", "t_faw_ns", "bus_cycle_ns", "data_burst_ns"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @property
+    def row_hit_read_ns(self) -> float:
+        """Read service time on a row-buffer hit."""
+        return self.t_cas_ns + self.data_burst_ns
+
+    @property
+    def row_miss_read_ns(self) -> float:
+        """Read service time on a row-buffer miss (activate + access)."""
+        return self.t_rcd_ns + self.t_cas_ns + self.data_burst_ns

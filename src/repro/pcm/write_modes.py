@@ -1,0 +1,148 @@
+"""Write-mode table: the write latency vs. retention trade-off (Table I).
+
+An MLC PCM write is one RESET pulse followed by a number of SET iterations.
+RESET takes 100ns at 50uA regardless of what follows; each SET iteration
+takes 150ns. Writes with fewer SET iterations must use a higher SET current
+to reach the target band quickly, which programs a wider distribution and
+thus a shorter retention (see :mod:`repro.pcm.drift`).
+
+:class:`WriteModeTable` derives latency and retention from first
+principles (the latency recurrence and the drift model) and carries the
+measured per-mode current and normalised energy from the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.pcm.drift import (
+    MAX_SET_ITERATIONS,
+    MIN_SET_ITERATIONS,
+    DriftModel,
+)
+
+#: RESET pulse duration (ns); independent of the SET count that follows.
+RESET_LATENCY_NS = 100.0
+#: Duration of one SET iteration (ns).
+SET_ITERATION_LATENCY_NS = 150.0
+#: RESET pulse current (uA).
+RESET_CURRENT_UA = 50.0
+
+#: Per-mode SET current in uA (paper Table I).
+SET_CURRENT_UA: Dict[int, float] = {3: 42.0, 4: 37.0, 5: 35.0, 6: 32.0, 7: 30.0}
+
+#: Per-mode write energy normalised to the 7-SETs write (paper Table I).
+NORMALIZED_ENERGY: Dict[int, float] = {3: 0.840, 4: 0.869, 5: 0.972, 6: 0.975, 7: 1.0}
+
+
+@dataclass(frozen=True)
+class WriteMode:
+    """One row of the write-mode table.
+
+    Attributes:
+        n_sets: Number of SET iterations in the write.
+        set_current_ua: SET pulse current in microamps.
+        normalized_energy: Write energy relative to the 7-SETs write.
+        retention_s: Data retention time in seconds (drift model output).
+        latency_ns: Total write pulse latency in nanoseconds.
+    """
+
+    n_sets: int
+    set_current_ua: float
+    normalized_energy: float
+    retention_s: float
+    latency_ns: float
+
+    @property
+    def name(self) -> str:
+        """Human-readable name, e.g. ``"7-SETs-Write"``."""
+        return f"{self.n_sets}-SETs-Write"
+
+    @property
+    def set_boundaries_ns(self) -> tuple:
+        """Times (ns, from write start) at which the write may be paused.
+
+        Write pausing (Qureshi et al.) preempts a write at SET-iteration
+        boundaries: after the RESET pulse and after each SET iteration.
+        """
+        return tuple(
+            RESET_LATENCY_NS + i * SET_ITERATION_LATENCY_NS
+            for i in range(self.n_sets + 1)
+        )
+
+
+def write_latency_ns(n_sets: int) -> float:
+    """Total write latency for an *n_sets*-SETs write.
+
+    >>> write_latency_ns(7)
+    1150.0
+    >>> write_latency_ns(3)
+    550.0
+    """
+    if not MIN_SET_ITERATIONS <= n_sets <= MAX_SET_ITERATIONS:
+        raise ConfigError(f"unsupported SET count: {n_sets}")
+    return RESET_LATENCY_NS + n_sets * SET_ITERATION_LATENCY_NS
+
+
+@dataclass
+class WriteModeTable:
+    """All supported write modes, derived from a :class:`DriftModel`.
+
+    The table regenerates the paper's Table I: with the default drift
+    parameters, ``table.mode(7).retention_s`` is 3054.9s and
+    ``table.mode(3).retention_s`` is 2.01s (to within calibration error).
+    """
+
+    drift: DriftModel = field(default_factory=DriftModel)
+
+    def __post_init__(self) -> None:
+        self._modes: Dict[int, WriteMode] = {}
+        for n in range(MIN_SET_ITERATIONS, MAX_SET_ITERATIONS + 1):
+            self._modes[n] = WriteMode(
+                n_sets=n,
+                set_current_ua=SET_CURRENT_UA[n],
+                normalized_energy=NORMALIZED_ENERGY[n],
+                retention_s=self.drift.retention_seconds(n),
+                latency_ns=write_latency_ns(n),
+            )
+
+    def mode(self, n_sets: int) -> WriteMode:
+        """The :class:`WriteMode` with *n_sets* SET iterations."""
+        try:
+            return self._modes[n_sets]
+        except KeyError:
+            raise ConfigError(f"unsupported SET count: {n_sets}") from None
+
+    @property
+    def fast(self) -> WriteMode:
+        """The short-latency-short-retention mode (3 SETs)."""
+        return self._modes[MIN_SET_ITERATIONS]
+
+    @property
+    def slow(self) -> WriteMode:
+        """The long-latency-long-retention mode (7 SETs)."""
+        return self._modes[MAX_SET_ITERATIONS]
+
+    def __iter__(self) -> Iterator[WriteMode]:
+        return iter(self._modes[n] for n in sorted(self._modes))
+
+    def __len__(self) -> int:
+        return len(self._modes)
+
+    def refresh_interval_s(self, n_sets: int, slack_s: Optional[float] = None) -> float:
+        """Refresh interval for data written with *n_sets* SETs.
+
+        The interval is the retention time minus a safety *slack* (default:
+        0.5% of the retention, matching the paper's 2s interval against the
+        2.01s retention of 3-SETs writes).
+        """
+        retention = self.mode(n_sets).retention_s
+        if slack_s is None:
+            slack_s = retention * 0.005
+        if slack_s < 0 or slack_s >= retention:
+            raise ConfigError(
+                f"refresh slack {slack_s}s invalid for retention {retention}s"
+            )
+        return retention - slack_s

@@ -1,0 +1,36 @@
+"""Full-system simulation: configuration, schemes, assembly and metrics."""
+
+from repro.sim.config import MemoryConfig, SystemConfig
+from repro.sim.schemes import Scheme, scheme_from_name, all_schemes
+from repro.sim.metrics import SimResult, WearReport, EnergyReport
+from repro.sim.system import System
+from repro.sim.runner import ExperimentRunner, run_workload
+from repro.sim.sweeps import (
+    SweepPoint,
+    coverage_sweep,
+    entry_size_sweep,
+    hot_threshold_sweep,
+    sweep_table,
+)
+from repro.sim.validation import RetentionIntegrityChecker, RetentionViolation
+
+__all__ = [
+    "SweepPoint",
+    "coverage_sweep",
+    "entry_size_sweep",
+    "hot_threshold_sweep",
+    "sweep_table",
+    "RetentionIntegrityChecker",
+    "RetentionViolation",
+    "MemoryConfig",
+    "SystemConfig",
+    "Scheme",
+    "scheme_from_name",
+    "all_schemes",
+    "SimResult",
+    "WearReport",
+    "EnergyReport",
+    "System",
+    "ExperimentRunner",
+    "run_workload",
+]

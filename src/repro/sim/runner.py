@@ -1,0 +1,140 @@
+"""Experiment orchestration: sweeps over workloads and schemes.
+
+Runs are independent, so the runner can optionally fan them out over a
+process pool. Results are keyed by ``(workload, scheme)`` and exposed with
+geometric-mean helpers matching the paper's reporting.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SimResult
+from repro.sim.schemes import Scheme, all_schemes
+from repro.sim.system import System
+from repro.utils.mathx import geomean
+from repro.workloads.mixes import all_workload_names
+
+ResultKey = Tuple[str, Scheme]
+
+
+def run_workload(
+    config: SystemConfig,
+    workload: str,
+    scheme: Scheme,
+    *,
+    track_wear_per_block: bool = False,
+    max_events: Optional[int] = None,
+) -> SimResult:
+    """Build and run one system; the basic unit of every experiment."""
+    system = System(
+        config, workload, scheme, track_wear_per_block=track_wear_per_block
+    )
+    return system.run(max_events=max_events)
+
+
+def _run_job(args) -> "tuple[str, str, SimResult]":
+    """Process-pool entry point (must be module-level for pickling)."""
+    config, workload, scheme_value, max_events = args
+    scheme = Scheme(scheme_value)
+    result = run_workload(config, workload, scheme, max_events=max_events)
+    return workload, scheme_value, result
+
+
+class ExperimentRunner:
+    """Sweeps workloads x schemes and aggregates results."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workloads: Optional[Iterable[str]] = None,
+        schemes: Optional[Iterable[Scheme]] = None,
+        *,
+        max_events: Optional[int] = None,
+        n_workers: int = 1,
+    ) -> None:
+        self.config = config
+        self.workloads = list(workloads) if workloads else all_workload_names()
+        self.schemes = list(schemes) if schemes else all_schemes()
+        self.max_events = max_events
+        self.n_workers = max(1, n_workers)
+        self.results: Dict[ResultKey, SimResult] = {}
+
+    # ------------------------------------------------------------------
+    def run_all(self, progress=None) -> Dict[ResultKey, SimResult]:
+        """Run every (workload, scheme) pair not yet cached.
+
+        Args:
+            progress: Optional callable ``(workload, scheme, result)``
+                invoked after each run (e.g. to print a line).
+        """
+        jobs = [
+            (self.config, workload, scheme.value, self.max_events)
+            for workload in self.workloads
+            for scheme in self.schemes
+            if (workload, scheme) not in self.results
+        ]
+        if not jobs:
+            return self.results
+
+        if self.n_workers == 1:
+            for config, workload, scheme_value, max_events in jobs:
+                scheme = Scheme(scheme_value)
+                result = run_workload(
+                    config, workload, scheme, max_events=max_events
+                )
+                self.results[(workload, scheme)] = result
+                if progress is not None:
+                    progress(workload, scheme, result)
+        else:
+            with concurrent.futures.ProcessPoolExecutor(self.n_workers) as pool:
+                for workload, scheme_value, result in pool.map(_run_job, jobs):
+                    scheme = Scheme(scheme_value)
+                    self.results[(workload, scheme)] = result
+                    if progress is not None:
+                        progress(workload, scheme, result)
+        return self.results
+
+    # ------------------------------------------------------------------
+    # Aggregation (the paper's reporting conventions)
+    # ------------------------------------------------------------------
+    def result(self, workload: str, scheme: Scheme) -> SimResult:
+        try:
+            return self.results[(workload, scheme)]
+        except KeyError:
+            raise ConfigError(
+                f"no result for ({workload}, {scheme.value}); run run_all() first"
+            ) from None
+
+    def ipc_series(self, scheme: Scheme) -> List[float]:
+        return [self.result(w, scheme).ipc for w in self.workloads]
+
+    def normalized_ipc(self, scheme: Scheme, baseline: Scheme) -> List[float]:
+        """Per-workload IPC normalised to *baseline* (Figures 2 and 7)."""
+        return [
+            self.result(w, scheme).ipc / self.result(w, baseline).ipc
+            for w in self.workloads
+        ]
+
+    def geomean_ipc(self, scheme: Scheme) -> float:
+        return geomean(self.ipc_series(scheme))
+
+    def geomean_speedup(self, scheme: Scheme, baseline: Scheme) -> float:
+        return geomean(self.normalized_ipc(scheme, baseline))
+
+    def lifetime_series(self, scheme: Scheme) -> List[float]:
+        return [self.result(w, scheme).lifetime_years for w in self.workloads]
+
+    def geomean_lifetime(self, scheme: Scheme) -> float:
+        return geomean(self.lifetime_series(scheme))
+
+    # ------------------------------------------------------------------
+    def save_json(self, path) -> None:
+        """Persist all results as JSON (one record per run)."""
+        records = [result.as_dict() for result in self.results.values()]
+        Path(path).write_text(json.dumps(records, indent=2), encoding="utf-8")

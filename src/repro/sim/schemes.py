@@ -1,0 +1,78 @@
+"""Simulated schemes (paper Table VI).
+
+``Static-N-SETs`` writes everything with N SET iterations and relies on
+global refresh at that mode's retention interval. ``RRM`` selects between
+3-SETs and 7-SETs per block under the Region Retention Monitor and keeps
+global refresh at the slow mode's long interval.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.errors import ConfigError
+
+
+class Scheme(enum.Enum):
+    """A write-mode management scheme."""
+
+    STATIC_3 = "Static-3-SETs"
+    STATIC_4 = "Static-4-SETs"
+    STATIC_5 = "Static-5-SETs"
+    STATIC_6 = "Static-6-SETs"
+    STATIC_7 = "Static-7-SETs"
+    RRM = "RRM"
+
+    @property
+    def is_static(self) -> bool:
+        return self is not Scheme.RRM
+
+    @property
+    def static_n_sets(self) -> int:
+        """SET count of a static scheme (raises for RRM)."""
+        if self is Scheme.RRM:
+            raise ConfigError("RRM has no single static write mode")
+        return int(self.value.split("-")[1])
+
+    @property
+    def global_refresh_n_sets(self) -> int:
+        """Mode used by the self-refresh circuit: the demand mode for
+        static schemes, the slow mode for RRM."""
+        return 7 if self is Scheme.RRM else self.static_n_sets
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def scheme_from_name(name: str) -> Scheme:
+    """Parse a scheme name, accepting ``rrm``, ``static-3``, ``Static-3-SETs``."""
+    normalized = name.strip().lower()
+    if normalized == "rrm":
+        return Scheme.RRM
+    for scheme in Scheme:
+        if scheme.value.lower() == normalized:
+            return scheme
+        if scheme.is_static and normalized in (
+            f"static-{scheme.static_n_sets}",
+            f"static{scheme.static_n_sets}",
+            f"s{scheme.static_n_sets}",
+        ):
+            return scheme
+    raise ConfigError(f"unknown scheme: {name!r}")
+
+
+def all_schemes() -> List[Scheme]:
+    """All schemes, statics from slow to fast, RRM last (paper order)."""
+    return [
+        Scheme.STATIC_7,
+        Scheme.STATIC_6,
+        Scheme.STATIC_5,
+        Scheme.STATIC_4,
+        Scheme.STATIC_3,
+        Scheme.RRM,
+    ]
+
+
+def static_schemes() -> List[Scheme]:
+    return [s for s in all_schemes() if s.is_static]

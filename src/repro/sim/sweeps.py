@@ -1,0 +1,152 @@
+"""Parameter-sweep helpers: the paper's sensitivity studies as a library.
+
+The benchmark harness drives these sweeps through its own cache; this
+module exposes them as plain functions so users (and the CLI's
+``sensitivity`` command) can run them directly:
+
+- :func:`hot_threshold_sweep` — paper Section VI-D / Figure 11;
+- :func:`coverage_sweep` — Section VI-E / Figure 12;
+- :func:`entry_size_sweep` — Section VI-F / Figure 13.
+
+Every sweep returns :class:`SweepPoint` rows, each carrying the variant
+label, the RRM result and its speedup against a shared Static-7 baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import SimResult
+from repro.sim.runner import run_workload
+from repro.sim.schemes import Scheme
+from repro.utils.mathx import geomean
+
+
+@dataclass
+class SweepPoint:
+    """One variant of a sensitivity sweep, aggregated over workloads."""
+
+    label: str
+    config: SystemConfig
+    results: Dict[str, SimResult]
+    baselines: Dict[str, SimResult]
+
+    @property
+    def speedup(self) -> float:
+        """Geomean IPC speedup over the Static-7 baseline."""
+        return geomean(
+            [
+                self.results[w].ipc / self.baselines[w].ipc
+                for w in self.results
+            ]
+        )
+
+    @property
+    def lifetime_years(self) -> float:
+        return geomean([r.lifetime_years for r in self.results.values()])
+
+    @property
+    def fast_write_fraction(self) -> float:
+        values = [r.fast_write_fraction for r in self.results.values()]
+        return sum(values) / len(values)
+
+
+def _run_sweep(
+    base: SystemConfig,
+    workloads: Sequence[str],
+    variants: Iterable,
+    label_of: Callable,
+    config_of: Callable,
+    progress: Optional[Callable] = None,
+) -> List[SweepPoint]:
+    if not workloads:
+        raise ConfigError("sweep needs at least one workload")
+    baselines = {
+        w: run_workload(base, w, Scheme.STATIC_7) for w in workloads
+    }
+    points = []
+    for variant in variants:
+        config = config_of(variant)
+        results = {}
+        for workload in workloads:
+            results[workload] = run_workload(config, workload, Scheme.RRM)
+            if progress is not None:
+                progress(label_of(variant), workload)
+        points.append(
+            SweepPoint(
+                label=label_of(variant),
+                config=config,
+                results=results,
+                baselines=baselines,
+            )
+        )
+    return points
+
+
+def hot_threshold_sweep(
+    base: SystemConfig,
+    workloads: Sequence[str],
+    thresholds: Sequence[int] = (8, 16, 32, 64),
+    progress=None,
+) -> List[SweepPoint]:
+    """Vary the RRM's aggressiveness (paper Fig. 11)."""
+    return _run_sweep(
+        base,
+        workloads,
+        thresholds,
+        label_of=lambda t: f"hot_threshold={t}",
+        config_of=lambda t: base.with_rrm(base.rrm.with_hot_threshold(t)),
+        progress=progress,
+    )
+
+
+def coverage_sweep(
+    base: SystemConfig,
+    workloads: Sequence[str],
+    rates: Sequence[int] = (2, 4, 8, 16),
+    progress=None,
+) -> List[SweepPoint]:
+    """Vary the RRM's LLC coverage rate (paper Fig. 12)."""
+    return _run_sweep(
+        base,
+        workloads,
+        rates,
+        label_of=lambda r: f"coverage={r}x",
+        config_of=lambda r: base.with_rrm(
+            base.rrm.with_coverage_rate(base.llc_bytes, r)
+        ),
+        progress=progress,
+    )
+
+
+def entry_size_sweep(
+    base: SystemConfig,
+    workloads: Sequence[str],
+    region_sizes: Sequence[int] = (2048, 4096, 8192, 16384),
+    progress=None,
+) -> List[SweepPoint]:
+    """Vary the Retention Region size at constant coverage (paper Fig. 13)."""
+    return _run_sweep(
+        base,
+        workloads,
+        region_sizes,
+        label_of=lambda size: f"region={size}B",
+        config_of=lambda size: base.with_rrm(base.rrm.with_region_bytes(size)),
+        progress=progress,
+    )
+
+
+def sweep_table(points: Sequence[SweepPoint]) -> List[List[object]]:
+    """Rows for :func:`repro.analysis.report.format_table`."""
+    return [
+        [
+            point.label,
+            point.speedup,
+            point.lifetime_years,
+            f"{point.fast_write_fraction:.0%}",
+        ]
+        for point in points
+    ]

@@ -1,0 +1,255 @@
+"""End-to-end system assembly.
+
+``System`` wires together the discrete-event engine, the workload
+generators, the core models, the (optional) Region Retention Monitor, the
+memory controller and the PCM device, runs the configured duration, and
+produces a :class:`~repro.sim.metrics.SimResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+from typing import List, Optional
+
+from repro.core.monitor import RegionRetentionMonitor
+from repro.cpu.multicore import Multicore
+from repro.engine import Simulator
+from repro.errors import ConfigError
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.request import MemRequest, RequestType
+from repro.pcm.device import PCMDevice
+from repro.pcm.drift import DriftModel, DriftParameters
+from repro.pcm.endurance import EnduranceModel, WearTracker
+from repro.pcm.energy import EnergyModel
+from repro.pcm.write_modes import WriteModeTable
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import EnergyReport, SimResult, WearReport
+from repro.sim.schemes import Scheme
+from repro.utils.units import s_to_ns
+from repro.workloads.mixes import workload_profiles
+from repro.workloads.synthetic import BLOCKS_PER_REGION, RegionTrafficGenerator
+
+
+class System:
+    """One simulated machine running one workload under one scheme."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        workload: str,
+        scheme: Scheme,
+        *,
+        track_wear_per_block: bool = False,
+        write_trace_sink=None,
+        monitor_factory=None,
+    ) -> None:
+        """
+        Args:
+            config: System parameters.
+            workload: A benchmark name (4 copies) or a mix name.
+            scheme: Write-mode management scheme.
+            track_wear_per_block: Keep a per-block wear Counter (slower;
+                needed only for wear-distribution analyses).
+            write_trace_sink: Optional callable ``(time_ns, block)`` fired
+                on every completed demand write — used by the Table III
+                region-interval analysis.
+            monitor_factory: Optional callable ``(modes, sim, controller)
+                -> monitor`` replacing the stock RegionRetentionMonitor
+                when the scheme is RRM — the extension point used by the
+                tiered multi-mode monitor.
+        """
+        self.config = config
+        self.workload = workload
+        self.scheme = scheme
+        self.sim = Simulator()
+
+        # --- PCM substrate ------------------------------------------------
+        drift = DriftModel(DriftParameters(drift_scale=config.drift_scale))
+        self.modes = WriteModeTable(drift)
+        # Unscaled table for reporting on the paper's timescale.
+        self._real_modes = WriteModeTable(DriftModel(DriftParameters(drift_scale=1.0)))
+        self.device = PCMDevice(
+            size_bytes=config.memory.size_bytes,
+            n_channels=config.memory.n_channels,
+            banks_per_channel=config.memory.banks_per_channel,
+            row_bytes=config.memory.row_buffer_bytes,
+            modes=self.modes,
+            allow_write_pausing=config.memory.allow_write_pausing,
+        )
+        self.controller = MemoryController(
+            self.sim,
+            self.device,
+            refresh_queue_capacity=config.memory.refresh_queue_capacity,
+            read_queue_capacity=config.memory.read_queue_capacity,
+            write_queue_capacity=config.memory.write_queue_capacity,
+        )
+        self.wear = WearTracker(track_per_block=track_wear_per_block)
+        self.energy = EnergyModel(modes=self.modes)
+        self.endurance = EnduranceModel(
+            endurance_writes=config.memory.endurance_writes,
+            wear_leveling_efficiency=config.memory.wear_leveling_efficiency,
+        )
+        self._write_trace_sink = write_trace_sink
+        self.controller.add_completion_listener(self._on_completion)
+
+        # --- Scheme -------------------------------------------------------
+        self.rrm: Optional[RegionRetentionMonitor] = None
+        if scheme is Scheme.RRM:
+            if monitor_factory is not None:
+                self.rrm = monitor_factory(self.modes, self.sim, self.controller)
+            else:
+                self.rrm = RegionRetentionMonitor(
+                    config.rrm, self.modes, sim=self.sim, controller=self.controller
+                )
+            chooser = self.rrm.decide_write_mode
+            register_sink = self.rrm.register_llc_write
+        else:
+            static_mode = scheme.static_n_sets
+            chooser = lambda block: static_mode  # noqa: E731 - hot path
+            register_sink = None
+
+        # --- Workload + cores ----------------------------------------------
+        streams = self._build_streams()
+        self.multicore = Multicore(
+            self.sim,
+            self.controller,
+            streams,
+            config.cores,
+            write_mode_chooser=chooser,
+            register_sink=register_sink,
+            end_time_ns=s_to_ns(config.duration_s),
+            seed=config.seed,
+        )
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def _build_streams(self) -> List:
+        config = self.config
+        profiles = workload_profiles(self.workload, config.n_cores)
+        core_window = config.memory.n_blocks // config.n_cores
+        streams = []
+        for core_id, profile in enumerate(profiles):
+            scaled = profile.scaled_footprint(config.footprint_scale)
+            footprint_blocks = scaled.traffic.footprint_regions * BLOCKS_PER_REGION
+            if footprint_blocks > core_window:
+                # Clamp the footprint into the core's address window rather
+                # than failing: tier proportions are preserved.
+                shrink = core_window / footprint_blocks * 0.95
+                scaled = scaled.scaled_footprint(shrink)
+            generator = RegionTrafficGenerator(
+                scaled.traffic,
+                base_block=core_id * core_window,
+                seed=config.seed * 1013 + core_id,
+            )
+            streams.append(iter(generator))
+        return streams
+
+    # ------------------------------------------------------------------
+    def _on_completion(self, request: MemRequest) -> None:
+        rtype = request.rtype
+        if rtype is RequestType.READ:
+            self.energy.record_read()
+        elif rtype is RequestType.WRITE:
+            assert request.n_sets is not None
+            self.wear.record_demand_write(request.block)
+            self.energy.record_write(request.n_sets)
+            if self._write_trace_sink is not None:
+                self._write_trace_sink(request.finish_time_ns, request.block)
+        elif rtype is RequestType.RRM_REFRESH:
+            self.wear.record_rrm_refresh(request.block)
+            self.energy.record_rrm_refresh(request.n_sets or 3)
+        else:  # RRM slow refresh (demotion rewrite)
+            self.wear.record_rrm_refresh(request.block)
+            self.energy.record_rrm_refresh(request.n_sets or 7)
+
+    # ------------------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> SimResult:
+        """Run the configured duration and return the metrics."""
+        if self._ran:
+            raise ConfigError("System.run() may only be called once")
+        self._ran = True
+        started = time.perf_counter()
+
+        if self.rrm is not None:
+            self.rrm.start()
+        self.multicore.start()
+        duration_ns = s_to_ns(self.config.duration_s)
+        self.sim.run(until=duration_ns, max_events=max_events)
+
+        return self._finalize(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    def _finalize(self, wall_time_s: float) -> SimResult:
+        config = self.config
+        duration_s = config.duration_s
+        duration_ns = s_to_ns(duration_s)
+        stats = self.controller.stats
+
+        result = SimResult(
+            scheme=self.scheme,
+            workload=self.workload,
+            duration_s=duration_s,
+            drift_scale=config.drift_scale,
+            n_blocks=config.memory.n_blocks,
+        )
+        result.wall_time_s = wall_time_s
+        result.per_core_ipc = self.multicore.per_core_ipc(duration_ns)
+        result.ipc = self.multicore.aggregate_ipc(duration_ns)
+        result.instructions = self.multicore.total_instructions()
+        result.reads = stats.reads_completed
+        result.writes = stats.writes_completed
+        result.fast_writes = stats.fast_writes
+        result.slow_writes = stats.slow_writes
+        result.rrm_fast_refreshes = stats.rrm_refreshes_completed
+        result.rrm_slow_refreshes = stats.rrm_slow_refreshes_completed
+        result.retention_violations = stats.retention_violations
+        result.avg_read_latency_ns = stats.avg_read_latency_ns
+        result.avg_write_latency_ns = stats.avg_write_latency_ns
+        result.row_hit_rate = stats.row_hit_rate
+        result.stalls = self.multicore.stall_summary()
+        if self.rrm is not None:
+            result.rrm_stats = asdict(self.rrm.stats)
+
+        result.wear = self._wear_report()
+        result.energy = self._energy_report(result.wear)
+        result.compute_lifetime(self.endurance)
+        return result
+
+    def _wear_report(self) -> WearReport:
+        """Wear rates on the paper's timescale (see metrics module docs)."""
+        config = self.config
+        duration_s = config.duration_s
+        virtual_s = config.virtual_duration_s
+        breakdown = self.wear.breakdown
+        stats = self.controller.stats
+
+        # Global refresh: every block, once per real (unscaled) interval of
+        # the scheme's global-refresh mode.
+        interval_real = self._real_modes.refresh_interval_s(
+            self.scheme.global_refresh_n_sets
+        )
+        global_rate = config.memory.n_blocks / interval_real
+
+        return WearReport(
+            demand_rate=breakdown.demand_writes / duration_s,
+            rrm_fast_refresh_rate=stats.rrm_refreshes_completed / virtual_s,
+            rrm_slow_refresh_rate=stats.rrm_slow_refreshes_completed / virtual_s,
+            global_refresh_rate=global_rate,
+        )
+
+    def _energy_report(self, wear: WearReport) -> EnergyReport:
+        config = self.config
+        duration_s = config.duration_s
+        virtual_s = config.virtual_duration_s
+        breakdown = self.energy.breakdown
+
+        global_mode = self._real_modes.mode(self.scheme.global_refresh_n_sets)
+        global_energy_rate = wear.global_refresh_rate * global_mode.normalized_energy
+
+        return EnergyReport(
+            write_rate=breakdown.write_energy / duration_s,
+            read_rate=breakdown.read_energy / duration_s,
+            rrm_refresh_rate=breakdown.rrm_refresh_energy / virtual_s,
+            global_refresh_rate=global_energy_rate,
+        )

@@ -1,0 +1,33 @@
+"""Shared helpers: unit conversion, math utilities, identifier parsing."""
+
+from repro.utils.units import (
+    NS_PER_S,
+    S_PER_YEAR,
+    format_bytes,
+    format_seconds,
+    ns_to_s,
+    parse_size,
+    s_to_ns,
+)
+from repro.utils.mathx import (
+    clamp,
+    geomean,
+    is_power_of_two,
+    log2_int,
+    weighted_mean,
+)
+
+__all__ = [
+    "NS_PER_S",
+    "S_PER_YEAR",
+    "format_bytes",
+    "format_seconds",
+    "ns_to_s",
+    "parse_size",
+    "s_to_ns",
+    "clamp",
+    "geomean",
+    "is_power_of_two",
+    "log2_int",
+    "weighted_mean",
+]

@@ -1,0 +1,54 @@
+"""Small math helpers (geometric mean, power-of-two checks, clamping)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    The paper reports performance and lifetime comparisons as geometric
+    means across workloads; we use the log-domain formulation for
+    numerical stability.
+    """
+    logs = []
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        logs.append(math.log(v))
+    if not logs:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(sum(logs) / len(logs))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Arithmetic mean of *values* weighted by *weights*."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def is_power_of_two(n: int) -> bool:
+    """True if *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Exact integer log2; raises :class:`ConfigError` for non powers of two."""
+    if not is_power_of_two(n):
+        raise ConfigError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp *value* into the inclusive range [low, high]."""
+    if low > high:
+        raise ValueError(f"empty clamp range [{low}, {high}]")
+    return max(low, min(high, value))

@@ -1,0 +1,94 @@
+"""Unit conversions used throughout the simulator.
+
+Internally the simulator keeps *time in nanoseconds* (float) and
+*addresses/sizes in bytes* (int). These helpers convert at the edges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+NS_PER_S = 1_000_000_000.0
+#: Seconds per (Julian) year, used for lifetime reporting.
+S_PER_YEAR = 365.25 * 24 * 3600
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "KB": 1 << 10,
+    "MB": 1 << 20,
+    "GB": 1 << 30,
+    "TB": 1 << 40,
+}
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def s_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * NS_PER_S
+
+
+def parse_size(text: "str | int") -> int:
+    """Parse a human-readable size such as ``"8GB"`` or ``"64"`` into bytes.
+
+    Integers pass through unchanged. Suffixes are binary (KB = 1024 bytes),
+    matching the paper's usage of KB/MB/GB for hardware structures.
+
+    >>> parse_size("4KB")
+    4096
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, int):
+        return text
+    raw = text.strip().upper().replace(" ", "")
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if suffix and raw.endswith(suffix):
+            number = raw[: -len(suffix)]
+            break
+    else:
+        number, suffix = raw, ""
+    try:
+        value = float(number)
+    except ValueError as exc:
+        raise ConfigError(f"unparseable size: {text!r}") from exc
+    result = value * _SIZE_SUFFIXES[suffix]
+    if result != int(result):
+        raise ConfigError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def format_bytes(n_bytes: int) -> str:
+    """Render a byte count with the largest exact binary suffix.
+
+    >>> format_bytes(98304)
+    '96KB'
+    """
+    if n_bytes < 0:
+        raise ConfigError(f"negative size: {n_bytes}")
+    for suffix in ("TB", "GB", "MB", "KB"):
+        unit = _SIZE_SUFFIXES[suffix]
+        if n_bytes >= unit and n_bytes % unit == 0:
+            return f"{n_bytes // unit}{suffix}"
+    for suffix in ("TB", "GB", "MB", "KB"):
+        unit = _SIZE_SUFFIXES[suffix]
+        if n_bytes >= unit:
+            return f"{n_bytes / unit:.2f}{suffix}"
+    return f"{n_bytes}B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an appropriate unit (ns/us/ms/s)."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.3g}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3g}us"
+    return f"{seconds * 1e9:.3g}ns"

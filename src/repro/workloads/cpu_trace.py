@@ -1,0 +1,104 @@
+"""Instruction-level access generator for full-hierarchy runs.
+
+Unlike :class:`~repro.workloads.synthetic.RegionTrafficGenerator`, which
+emits LLC-level traffic directly, this generator produces raw CPU
+loads/stores with cache-friendly short-range reuse, to be filtered through
+:class:`~repro.cache.hierarchy.CacheHierarchy`. It is used by integration
+tests and examples to validate that the fast LLC-level path and the full
+hierarchy produce the same qualitative traffic structure.
+
+Model: a working-set hierarchy. Each access either re-touches a recently
+used block (drawn from a bounded recency pool, hitting in L1/L2), touches
+a block of the current *frame* of the footprint (LLC-resident), or jumps
+to a new frame (LLC miss territory). Stores follow the same distribution
+with a configurable fraction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Tuple
+
+from repro.errors import ConfigError
+
+#: One CPU access: (gap_instructions, block, is_write).
+CpuAccess = Tuple[int, int, bool]
+
+
+@dataclass(frozen=True)
+class CpuTraceProfile:
+    """Shape of an instruction-level access stream.
+
+    Attributes:
+        accesses_per_kilo_instr: Memory accesses per 1000 instructions
+            (loads+stores reaching the L1D).
+        store_fraction: Fraction of accesses that are stores.
+        reuse_fraction: Probability an access re-touches the recency pool
+            (L1/L2 hits).
+        pool_blocks: Size of the recency pool.
+        frame_blocks: Blocks per footprint frame (LLC-resident region).
+        footprint_blocks: Total footprint.
+        frame_jump_prob: Probability an access abandons the current frame.
+    """
+
+    accesses_per_kilo_instr: float = 300.0
+    store_fraction: float = 0.35
+    reuse_fraction: float = 0.80
+    pool_blocks: int = 256
+    frame_blocks: int = 4096
+    footprint_blocks: int = 1 << 20
+    frame_jump_prob: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.accesses_per_kilo_instr <= 0:
+            raise ConfigError("accesses_per_kilo_instr must be positive")
+        if not 0 <= self.store_fraction <= 1:
+            raise ConfigError("store_fraction must be in [0,1]")
+        if not 0 <= self.reuse_fraction <= 1:
+            raise ConfigError("reuse_fraction must be in [0,1]")
+        if self.pool_blocks <= 0 or self.frame_blocks <= 0:
+            raise ConfigError("pool/frame sizes must be positive")
+        if self.footprint_blocks < self.frame_blocks:
+            raise ConfigError("footprint smaller than one frame")
+        if not 0 <= self.frame_jump_prob <= 1:
+            raise ConfigError("frame_jump_prob must be in [0,1]")
+
+
+class CpuAccessGenerator:
+    """Deterministic infinite stream of CPU accesses."""
+
+    def __init__(
+        self, profile: CpuTraceProfile, base_block: int = 0, seed: int = 0
+    ) -> None:
+        self.profile = profile
+        self.base_block = base_block
+        self._rng = random.Random((seed << 8) ^ 0xACCE55 ^ base_block)
+        self._pool: Deque[int] = deque(maxlen=profile.pool_blocks)
+        self._frame_origin = 0
+        self._mean_gap = 1000.0 / profile.accesses_per_kilo_instr
+
+    def __iter__(self) -> Iterator[CpuAccess]:
+        return self._generate()
+
+    def _generate(self) -> Iterator[CpuAccess]:
+        rng = self._rng
+        p = self.profile
+        while True:
+            gap = max(1, int(rng.expovariate(1.0 / self._mean_gap)))
+            block = self._pick_block(rng)
+            is_write = rng.random() < p.store_fraction
+            yield (gap, self.base_block + block, is_write)
+
+    def _pick_block(self, rng: random.Random) -> int:
+        p = self.profile
+        if self._pool and rng.random() < p.reuse_fraction:
+            block = self._pool[rng.randrange(len(self._pool))]
+        else:
+            if rng.random() < p.frame_jump_prob or not self._pool:
+                max_origin = p.footprint_blocks - p.frame_blocks
+                self._frame_origin = rng.randrange(max_origin + 1)
+            block = self._frame_origin + rng.randrange(p.frame_blocks)
+            self._pool.append(block)
+        return block

@@ -1,0 +1,34 @@
+"""Workload event encoding.
+
+Events are plain tuples ``(kind, gap, block, dirty)`` — this is the
+hottest data path in the simulator, so we avoid per-event object overhead:
+
+- ``kind``: one of :data:`EV_READ`, :data:`EV_WRITE`, :data:`EV_REGISTER`;
+- ``gap``: instructions retired since the previous event;
+- ``block``: 64-byte block index the event targets;
+- ``dirty``: for registrations, whether the written LLC line was already
+  dirty (always False otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Memory read — an LLC miss that must fetch from PCM.
+EV_READ = 0
+#: Memory write — a dirty LLC victim written back to PCM.
+EV_WRITE = 1
+#: LLC write registration — a dirty L2 victim landing in the LLC.
+EV_REGISTER = 2
+
+WorkloadEvent = Tuple[int, int, int, bool]
+
+_KIND_NAMES = {EV_READ: "read", EV_WRITE: "write", EV_REGISTER: "register"}
+
+
+def event_kind_name(kind: int) -> str:
+    """Readable name of an event kind (for traces and debugging)."""
+    try:
+        return _KIND_NAMES[kind]
+    except KeyError:
+        raise ValueError(f"unknown event kind: {kind}") from None

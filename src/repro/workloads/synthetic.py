@@ -1,0 +1,359 @@
+"""Region-tier synthetic traffic generator.
+
+The generator models the write-locality structure the paper measures in
+Section III-C / Table III: a small set of *hot* regions receives most
+writes at short intervals, a *warm* tier sits near the hotness boundary,
+and a vast *cold* tail is written rarely or once. Reads follow a related
+but independent mixture, plus an optional *streaming* component that
+sweeps the footprint touching each line once (which the RRM's dirty-write
+filter must ignore).
+
+Mechanics per LLC-miss cycle:
+
+1. draw an instruction gap (geometric, mean ``1000 / mpki``);
+2. emit one memory READ from the read mixture;
+3. with probability ``writeback_per_miss`` emit a write group: a few
+   REGISTER events (LLC stores; dirty for reuse traffic, clean for
+   streaming) followed by one memory WRITE to the same block.
+
+Hot regions cycle through a per-region working set of blocks so each block
+is written repeatedly — the temporal locality that makes short-retention
+writes safe. All randomness is seeded; a given (profile, seed) pair always
+produces the identical stream.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigError
+from repro.workloads.events import EV_READ, EV_REGISTER, EV_WRITE, WorkloadEvent
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Statistical shape of one benchmark's LLC-level traffic.
+
+    All shares are fractions of the relevant traffic class; region counts
+    are in 4KB regions of the workload's private footprint.
+
+    Attributes:
+        mpki: LLC read misses per 1000 instructions (paper Table VII).
+        writeback_per_miss: Memory writes per memory read.
+        registrations_per_write: LLC store registrations preceding each
+            memory writeback (dirty-line reuse in the LLC).
+        footprint_regions: Total 4KB regions the workload touches.
+        hot_regions: Regions in the hot tier.
+        warm_regions: Regions in the warm (near-threshold) tier.
+        hot_write_share / warm_write_share: Fraction of write groups
+            targeting each tier (the rest is cold/streaming).
+        streaming_fraction: Fraction of write groups that are streaming
+            (clean registrations, write-once blocks).
+        read_hot_share: Fraction of reads hitting the hot tier.
+        hot_working_blocks: Blocks actively rewritten within a hot region
+            (<= 64); writes cycle over these.
+        zipf_alpha: Skew of popularity within the hot tier.
+        gap_cv_shape: >=1 burstiness knob — gaps are drawn geometrically
+            and multiplied by this for a fraction of long gaps.
+        cold_dirty_fraction: Fraction of cold-tier writes whose LLC line
+            was already dirty (occasional reuse in the tail).
+        phase_interval_writes: Write groups between program phase changes
+            (0 = stationary). On a phase change a fraction of the hot
+            tier is swapped with cold regions — the behaviour the RRM's
+            decay mechanism exists for (obsolete hot regions must stop
+            being refreshed).
+        phase_rotation_fraction: Share of the hot tier replaced per phase
+            change.
+        tier_cluster_regions: Hot/warm regions are allocated in contiguous
+            runs of this many 4KB regions (hot arrays are contiguous in
+            real programs — this is why the paper finds 8KB/16KB RRM
+            entries as accurate as 4KB ones).
+    """
+
+    mpki: float
+    writeback_per_miss: float = 0.45
+    registrations_per_write: float = 3.5
+    footprint_regions: int = 8192
+    hot_regions: int = 96
+    warm_regions: int = 512
+    hot_write_share: float = 0.70
+    warm_write_share: float = 0.18
+    streaming_fraction: float = 0.05
+    read_hot_share: float = 0.45
+    hot_working_blocks: int = 32
+    zipf_alpha: float = 0.7
+    gap_cv_shape: float = 1.0
+    cold_dirty_fraction: float = 0.2
+    phase_interval_writes: int = 30000
+    phase_rotation_fraction: float = 0.2
+    tier_cluster_regions: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mpki <= 0:
+            raise ConfigError("mpki must be positive")
+        if not 0 <= self.writeback_per_miss <= 4:
+            raise ConfigError("writeback_per_miss out of range")
+        if self.registrations_per_write < 1:
+            raise ConfigError("each writeback needs at least one registration")
+        if self.footprint_regions < self.hot_regions + self.warm_regions:
+            raise ConfigError("footprint smaller than hot+warm tiers")
+        shares = self.hot_write_share + self.warm_write_share + self.streaming_fraction
+        if shares > 1.0 + 1e-9:
+            raise ConfigError("write shares exceed 1.0")
+        if not 0 <= self.read_hot_share <= 1:
+            raise ConfigError("read_hot_share must be in [0,1]")
+        if not 1 <= self.hot_working_blocks <= 64:
+            raise ConfigError("hot_working_blocks must be in [1, 64]")
+        if self.zipf_alpha < 0:
+            raise ConfigError("zipf_alpha must be non-negative")
+        if not 0 <= self.cold_dirty_fraction <= 1:
+            raise ConfigError("cold_dirty_fraction must be in [0,1]")
+        if self.phase_interval_writes < 0:
+            raise ConfigError("phase_interval_writes must be non-negative")
+        if not 0 <= self.phase_rotation_fraction <= 1:
+            raise ConfigError("phase_rotation_fraction must be in [0,1]")
+        if self.tier_cluster_regions < 1:
+            raise ConfigError("tier_cluster_regions must be positive")
+
+    @property
+    def cold_write_share(self) -> float:
+        return max(
+            0.0,
+            1.0 - self.hot_write_share - self.warm_write_share - self.streaming_fraction,
+        )
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean instructions between LLC misses."""
+        return 1000.0 / self.mpki
+
+
+def _log_spread_cdf(n: int, rng: random.Random) -> List[float]:
+    """Cumulative probabilities with per-item weights log-uniform in
+    [0.5, 6.0] — a ~12x popularity spread across warm regions, centred so
+    that at the default hot_threshold a majority of warm regions qualify
+    as hot while a meaningful population sits just below (giving the
+    threshold sweep its gradient)."""
+    import math
+
+    weights = [math.exp(rng.uniform(math.log(0.5), math.log(6.0))) for _ in range(n)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
+def _zipf_cdf(n: int, alpha: float) -> List[float]:
+    """Cumulative probabilities of a Zipf(alpha) distribution over n items."""
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(n)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
+#: Blocks per 4KB region (64-byte blocks).
+BLOCKS_PER_REGION = 64
+
+
+class RegionTrafficGenerator:
+    """Generates one core's infinite LLC-level event stream.
+
+    Args:
+        profile: Traffic shape.
+        base_block: First block of this core's private footprint (cores
+            get disjoint windows, like separate program copies).
+        seed: RNG seed; streams are fully deterministic per (profile,
+            base_block, seed).
+        warm_period_events: A warm region is revisited roughly every this
+            many write groups — tuned so warm regions straddle the
+            hot_threshold boundary.
+    """
+
+    def __init__(
+        self,
+        profile: RegionProfile,
+        base_block: int = 0,
+        seed: int = 0,
+        warm_period_events: Optional[int] = None,
+    ) -> None:
+        if base_block < 0:
+            raise ConfigError("base_block must be non-negative")
+        self.profile = profile
+        self.base_block = base_block
+        self._rng = random.Random((seed << 16) ^ 0x5EED ^ base_block)
+
+        p = profile
+        shuffler = random.Random(seed ^ 0xC0FFEE)
+        # Tiers are allocated in contiguous runs ("clusters") so spatially
+        # adjacent regions share behaviour, as hot arrays do in real
+        # programs; the cluster order itself is shuffled.
+        cluster = min(p.tier_cluster_regions, p.footprint_regions)
+        clusters = [
+            list(range(start, min(start + cluster, p.footprint_regions)))
+            for start in range(0, p.footprint_regions, cluster)
+        ]
+        shuffler.shuffle(clusters)
+        region_ids = [region for chunk in clusters for region in chunk]
+        self._hot = region_ids[: p.hot_regions]
+        self._warm = region_ids[p.hot_regions : p.hot_regions + p.warm_regions]
+        self._cold_start = p.hot_regions + p.warm_regions
+        self._cold_ids = region_ids[self._cold_start :]
+
+        self._hot_cdf = _zipf_cdf(len(self._hot), p.zipf_alpha) if self._hot else []
+        #: Per-hot-region rotating write cursor over the working blocks.
+        self._hot_cursor = [0] * len(self._hot)
+        # Warm regions get log-spread popularity so their per-interval
+        # dirty-write counts straddle the hot_threshold boundary: the most
+        # popular warm regions qualify as hot at low thresholds, the least
+        # popular never do. This is what gives the hot_threshold sweep
+        # (paper Fig. 11) its smooth performance/lifetime gradient.
+        self._warm_cdf = _log_spread_cdf(len(self._warm), shuffler) if self._warm else []
+        self._stream_block = 0
+        self._reads_emitted = 0
+        self._writes_emitted = 0
+        self.phase_changes = 0
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[WorkloadEvent]:
+        return self._generate()
+
+    def _generate(self) -> Iterator[WorkloadEvent]:
+        rng = self._rng
+        p = self.profile
+        mean_gap = p.mean_gap
+        while True:
+            gap = self._draw_gap(rng, mean_gap)
+            yield (EV_READ, gap, self._pick_read_block(rng), False)
+            self._reads_emitted += 1
+            if rng.random() < p.writeback_per_miss:
+                yield from self._write_group(rng)
+
+    def _draw_gap(self, rng: random.Random, mean_gap: float) -> int:
+        gap = rng.expovariate(1.0 / mean_gap) if mean_gap > 0 else 0.0
+        if self.profile.gap_cv_shape > 1.0 and rng.random() < 0.05:
+            gap *= self.profile.gap_cv_shape
+        return max(1, int(gap))
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def _pick_read_block(self, rng: random.Random) -> int:
+        p = self.profile
+        roll = rng.random()
+        if roll < p.read_hot_share and self._hot:
+            region = self._pick_hot_region(rng)
+            offset = rng.randrange(BLOCKS_PER_REGION)
+        elif roll < p.read_hot_share + p.streaming_fraction:
+            region, offset = self._advance_stream()
+        else:
+            region = self._cold_ids[rng.randrange(len(self._cold_ids))]
+            offset = rng.randrange(BLOCKS_PER_REGION)
+        return self._block_of(region, offset)
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def _write_group(self, rng: random.Random) -> Iterator[WorkloadEvent]:
+        p = self.profile
+        roll = rng.random()
+        if roll < p.hot_write_share and self._hot:
+            block = self._next_hot_write_block(rng)
+            dirty = True
+        elif roll < p.hot_write_share + p.warm_write_share and self._warm:
+            block = self._next_warm_write_block(rng)
+            dirty = True
+        elif roll < p.hot_write_share + p.warm_write_share + p.streaming_fraction:
+            region, offset = self._advance_stream()
+            block = self._block_of(region, offset)
+            dirty = False  # streaming lines are written once: never dirty
+        else:
+            region = self._cold_ids[rng.randrange(len(self._cold_ids))]
+            block = self._block_of(region, rng.randrange(BLOCKS_PER_REGION))
+            dirty = rng.random() < p.cold_dirty_fraction
+
+        n_regs = self._registration_count(rng)
+        for _ in range(n_regs):
+            yield (EV_REGISTER, 0, block, dirty)
+        yield (EV_WRITE, 0, block, False)
+        self._writes_emitted += 1
+        if (
+            p.phase_interval_writes
+            and self._writes_emitted % p.phase_interval_writes == 0
+        ):
+            self._rotate_phase(rng)
+
+    def _rotate_phase(self, rng: random.Random) -> None:
+        """Program phase change: retire part of the hot tier into the cold
+        pool and promote random cold regions in its place."""
+        p = self.profile
+        if not self._hot or not self._cold_ids:
+            return
+        count = max(1, int(len(self._hot) * p.phase_rotation_fraction))
+        for _ in range(count):
+            hot_index = rng.randrange(len(self._hot))
+            cold_index = rng.randrange(len(self._cold_ids))
+            self._hot[hot_index], self._cold_ids[cold_index] = (
+                self._cold_ids[cold_index],
+                self._hot[hot_index],
+            )
+            self._hot_cursor[hot_index] = 0
+        self.phase_changes += 1
+
+    def _registration_count(self, rng: random.Random) -> int:
+        mean = self.profile.registrations_per_write
+        base = int(mean)
+        return base + (1 if rng.random() < (mean - base) else 0)
+
+    def _pick_hot_region(self, rng: random.Random) -> int:
+        index = bisect.bisect_left(self._hot_cdf, rng.random())
+        index = min(index, len(self._hot) - 1)
+        return self._hot[index]
+
+    def _next_hot_write_block(self, rng: random.Random) -> int:
+        index = bisect.bisect_left(self._hot_cdf, rng.random())
+        index = min(index, len(self._hot) - 1)
+        region = self._hot[index]
+        # Cycle over the region's working blocks with slight jitter so the
+        # short_retention_vector fills progressively, as in real reuse.
+        cursor = self._hot_cursor[index]
+        self._hot_cursor[index] = (cursor + 1) % self.profile.hot_working_blocks
+        offset = cursor
+        if rng.random() < 0.1:
+            offset = rng.randrange(self.profile.hot_working_blocks)
+        return self._block_of(region, offset)
+
+    def _next_warm_write_block(self, rng: random.Random) -> int:
+        index = bisect.bisect_left(self._warm_cdf, rng.random())
+        index = min(index, len(self._warm) - 1)
+        region = self._warm[index]
+        # Warm writes spread over the whole region: halving the entry
+        # coverage size halves each entry's dirty-write accumulation rate,
+        # which is the paper's stated reason 2KB entries underperform.
+        offset = rng.randrange(BLOCKS_PER_REGION)
+        return self._block_of(region, offset)
+
+    def _advance_stream(self) -> "tuple[int, int]":
+        # The streaming pointer sweeps the cold portion of the footprint.
+        n_cold = max(1, len(self._cold_ids))
+        index = (self._stream_block // BLOCKS_PER_REGION) % n_cold
+        offset = self._stream_block % BLOCKS_PER_REGION
+        self._stream_block += 1
+        return self._cold_ids[index], offset
+
+    def _block_of(self, region: int, offset: int) -> int:
+        return self.base_block + region * BLOCKS_PER_REGION + offset
+
+    # ------------------------------------------------------------------
+    @property
+    def footprint_blocks(self) -> int:
+        return self.profile.footprint_regions * BLOCKS_PER_REGION

@@ -1,0 +1,147 @@
+"""Trace file I/O.
+
+Generated workloads (or memory traffic observed during a run) can be
+persisted as traces and replayed later, which makes experiments exactly
+reproducible across machines and lets users bring their own traces.
+
+Format: one record per line, whitespace-separated::
+
+    <kind> <gap> <block> <dirty>
+
+where ``kind`` is ``read`` / ``write`` / ``register``, ``gap`` is the
+instruction gap, ``block`` the 64-byte block index and ``dirty`` 0/1.
+Lines starting with ``#`` are comments. The format is deliberately plain
+text: traces are small at simulator scale and diffable in review.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.errors import TraceFormatError
+from repro.workloads.events import (
+    EV_READ,
+    EV_REGISTER,
+    EV_WRITE,
+    WorkloadEvent,
+    event_kind_name,
+)
+
+_KIND_BY_NAME = {"read": EV_READ, "write": EV_WRITE, "register": EV_REGISTER}
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One parsed trace line."""
+
+    kind: int
+    gap: int
+    block: int
+    dirty: bool
+
+    def as_event(self) -> WorkloadEvent:
+        return (self.kind, self.gap, self.block, self.dirty)
+
+    def format(self) -> str:
+        return (
+            f"{event_kind_name(self.kind)} {self.gap} {self.block} "
+            f"{1 if self.dirty else 0}"
+        )
+
+    @classmethod
+    def parse(cls, line: str, lineno: int = 0) -> "TraceRecord":
+        parts = line.split()
+        if len(parts) != 4:
+            raise TraceFormatError(
+                f"line {lineno}: expected 4 fields, got {len(parts)}: {line!r}"
+            )
+        kind_name, gap_s, block_s, dirty_s = parts
+        try:
+            kind = _KIND_BY_NAME[kind_name]
+        except KeyError:
+            raise TraceFormatError(
+                f"line {lineno}: unknown kind {kind_name!r}"
+            ) from None
+        try:
+            gap, block, dirty = int(gap_s), int(block_s), int(dirty_s)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: bad integer field") from exc
+        if gap < 0 or block < 0 or dirty not in (0, 1):
+            raise TraceFormatError(f"line {lineno}: field out of range")
+        return cls(kind=kind, gap=gap, block=block, dirty=bool(dirty))
+
+
+class TraceWriter:
+    """Writes workload events to a trace file.
+
+    Usable as a context manager::
+
+        with TraceWriter("gems.trace") as w:
+            for event in itertools.islice(generator, 10000):
+                w.write_event(event)
+    """
+
+    def __init__(self, path: PathLike, header: str = "") -> None:
+        self._path = Path(path)
+        self._file: "io.TextIOBase | None" = None
+        self._header = header
+        self.records_written = 0
+
+    def __enter__(self) -> "TraceWriter":
+        self._file = self._path.open("w", encoding="utf-8")
+        if self._header:
+            for line in self._header.splitlines():
+                self._file.write(f"# {line}\n")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def write_event(self, event: WorkloadEvent) -> None:
+        kind, gap, block, dirty = event
+        self.write(TraceRecord(kind=kind, gap=gap, block=block, dirty=dirty))
+
+    def write(self, record: TraceRecord) -> None:
+        if self._file is None:
+            raise TraceFormatError("TraceWriter used outside its context")
+        self._file.write(record.format() + "\n")
+        self.records_written += 1
+
+
+class TraceReader:
+    """Reads a trace file back as workload events."""
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = Path(path)
+        if not self._path.exists():
+            raise TraceFormatError(f"trace file not found: {self._path}")
+
+    def records(self) -> Iterator[TraceRecord]:
+        with self._path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                yield TraceRecord.parse(stripped, lineno)
+
+    def events(self) -> Iterator[WorkloadEvent]:
+        for record in self.records():
+            yield record.as_event()
+
+    def __iter__(self) -> Iterator[WorkloadEvent]:
+        return self.events()
+
+
+def write_trace(path: PathLike, events: Iterable[WorkloadEvent], header: str = "") -> int:
+    """Convenience: dump *events* to *path*; returns the record count."""
+    with TraceWriter(path, header=header) as writer:
+        for event in events:
+            writer.write_event(event)
+        return writer.records_written

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RRMConfig
+from repro.engine import Simulator
+from repro.memctrl.controller import MemoryController
+from repro.pcm.device import PCMDevice
+from repro.pcm.write_modes import WriteModeTable
+from repro.sim.config import SystemConfig
+from repro.utils.units import parse_size
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def modes() -> WriteModeTable:
+    return WriteModeTable()
+
+
+@pytest.fixture
+def small_device() -> PCMDevice:
+    """A 16MB device with 2 channels x 2 banks — enough structure to
+    exercise the address map and scheduler without bulk."""
+    return PCMDevice(
+        size_bytes=parse_size("16MB"), n_channels=2, banks_per_channel=2
+    )
+
+
+@pytest.fixture
+def controller(sim, small_device) -> MemoryController:
+    return MemoryController(
+        sim,
+        small_device,
+        refresh_queue_capacity=8,
+        read_queue_capacity=8,
+        write_queue_capacity=8,
+    )
+
+
+@pytest.fixture
+def rrm_config() -> RRMConfig:
+    """A small RRM: 4 sets x 4 ways of 4KB regions."""
+    return RRMConfig(n_sets=4, n_ways=4)
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    return SystemConfig.tiny()

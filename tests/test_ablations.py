@@ -1,0 +1,102 @@
+"""Tests for the ablation knobs on the RRM and the device.
+
+These validate the mechanisms that the ablation benchmarks exercise at
+scale: the streaming-write filter, the decay machinery, and write
+pausing.
+"""
+
+import pytest
+
+from repro.core.config import RRMConfig
+from repro.core.monitor import RegionRetentionMonitor
+from repro.memctrl.request import RequestType
+
+
+class StubController:
+    def __init__(self):
+        self.requests = []
+
+    def can_accept(self, rtype, block):
+        return True
+
+    def enqueue(self, request):
+        self.requests.append(request)
+
+    def notify_space(self, rtype, block, callback):  # pragma: no cover
+        raise AssertionError("unexpected backpressure in stub")
+
+
+class TestStreamingFilterAblation:
+    def test_clean_writes_register_when_filter_off(self, modes):
+        config = RRMConfig(n_sets=4, n_ways=4, streaming_filter=False)
+        monitor = RegionRetentionMonitor(config, modes)
+        for _ in range(config.hot_threshold):
+            monitor.register_llc_write(0, was_dirty=False)
+        entry = monitor.tags.lookup(0, touch=False)
+        assert entry is not None and entry.hot
+        assert monitor.stats.clean_writes_filtered == 0
+
+    def test_filter_on_keeps_streaming_cold(self, modes):
+        config = RRMConfig(n_sets=4, n_ways=4)
+        monitor = RegionRetentionMonitor(config, modes)
+        for _ in range(config.hot_threshold):
+            monitor.register_llc_write(0, was_dirty=False)
+        assert monitor.tags.lookup(0, touch=False) is None
+
+    def test_filter_off_increases_fast_coverage_of_streams(self, modes):
+        """A streaming pattern (each block written once, clean) becomes
+        short-retention only without the filter — exactly the pollution
+        the paper's filter prevents."""
+        on = RegionRetentionMonitor(RRMConfig(n_sets=4, n_ways=4), modes)
+        off = RegionRetentionMonitor(
+            RRMConfig(n_sets=4, n_ways=4, streaming_filter=False), modes
+        )
+        for monitor in (on, off):
+            for block in range(32):  # one sweep over half a region
+                monitor.register_llc_write(block, was_dirty=False)
+        assert on.decide_write_mode(31) == 7
+        assert off.decide_write_mode(31) == 3
+
+
+class TestDecayAblation:
+    def _promote(self, monitor, block=0):
+        for _ in range(monitor.config.hot_threshold):
+            monitor.register_llc_write(block, was_dirty=True)
+
+    def test_no_decay_keeps_entries_hot_forever(self, modes):
+        config = RRMConfig(n_sets=4, n_ways=4, decay_enabled=False)
+        controller = StubController()
+        monitor = RegionRetentionMonitor(config, modes, controller=controller)
+        self._promote(monitor)
+        for _ in range(10 * config.decay_ticks_per_interval):
+            monitor.on_decay_tick()
+        assert monitor.stats.demotions == 0
+        assert monitor.tags.lookup(0, touch=False).hot
+
+    def test_no_decay_means_unbounded_refresh(self, modes):
+        """Without decay an obsolete hot block is fast-refreshed at every
+        interrupt — the wear the decay mechanism exists to avoid."""
+        config = RRMConfig(n_sets=4, n_ways=4, decay_enabled=False)
+        controller = StubController()
+        monitor = RegionRetentionMonitor(config, modes, controller=controller)
+        self._promote(monitor)
+        for _ in range(5):
+            monitor.on_refresh_interrupt()
+        fast = [r for r in controller.requests if r.rtype is RequestType.RRM_REFRESH]
+        assert len(fast) == 5
+
+    def test_decay_bounds_refresh_of_idle_entries(self, modes):
+        config = RRMConfig(n_sets=4, n_ways=4)
+        controller = StubController()
+        monitor = RegionRetentionMonitor(config, modes, controller=controller)
+        self._promote(monitor)
+        interrupts_with_refresh = 0
+        for _ in range(5):
+            before = monitor.stats.fast_refreshes_issued
+            monitor.on_refresh_interrupt()
+            if monitor.stats.fast_refreshes_issued > before:
+                interrupts_with_refresh += 1
+            for _ in range(config.decay_ticks_per_interval):
+                monitor.on_decay_tick()
+        # The entry decays after two intervals, so later interrupts are free.
+        assert interrupts_with_refresh <= 2

@@ -1,0 +1,30 @@
+"""Tests for aggregation helpers."""
+
+import pytest
+
+from repro.analysis.aggregate import normalize_to, series_with_geomean
+
+
+class TestNormalize:
+    def test_elementwise_division(self):
+        assert normalize_to([2.0, 9.0], [1.0, 3.0]) == [2.0, 3.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize_to([1.0], [1.0, 2.0])
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize_to([1.0], [0.0])
+
+
+class TestSeriesWithGeomean:
+    def test_labels_preserved_plus_geomean(self):
+        out = series_with_geomean(["a", "b"], [1.0, 4.0])
+        assert out["a"] == 1.0
+        assert out["b"] == 4.0
+        assert out["geomean"] == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_with_geomean(["a"], [1.0, 2.0])

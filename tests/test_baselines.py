@@ -1,0 +1,101 @@
+"""Tests for the promotion (Amnesic-style) comparator baseline."""
+
+import pytest
+
+from repro.core.baselines import PromotionMonitor
+from repro.core.config import RRMConfig
+from repro.memctrl.request import RequestType
+
+
+class StubController:
+    def __init__(self):
+        self.requests = []
+
+    def can_accept(self, rtype, block):
+        return True
+
+    def enqueue(self, request):
+        self.requests.append(request)
+
+    def notify_space(self, rtype, block, callback):  # pragma: no cover
+        raise AssertionError("unexpected backpressure in stub")
+
+
+@pytest.fixture
+def monitor(modes):
+    return PromotionMonitor(
+        RRMConfig(n_sets=4, n_ways=4), modes, controller=StubController()
+    )
+
+
+class TestPolicy:
+    def test_every_write_is_fast(self, monitor):
+        for block in (0, 1, 999):
+            assert monitor.decide_write_mode(block) == 3
+
+    def test_llc_registrations_ignored(self, monitor):
+        monitor.register_llc_write(0, was_dirty=True)
+        assert monitor.tags.occupancy == 0
+
+    def test_written_block_is_tracked(self, monitor):
+        monitor.decide_write_mode(5)
+        entry = monitor.tags.lookup(0, touch=False)
+        assert entry.vector_bit(5)
+        assert entry.touched_vector >> 5 & 1
+
+
+class TestInterrupt:
+    def test_rewritten_block_refreshed_fast(self, monitor):
+        monitor.decide_write_mode(5)
+        monitor.on_refresh_interrupt()
+        fast = [r for r in monitor.controller.requests
+                if r.rtype is RequestType.RRM_REFRESH]
+        assert [r.block for r in fast] == [5]
+        assert monitor.promotions_issued == 0
+
+    def test_idle_block_promoted_next_interval(self, monitor):
+        monitor.decide_write_mode(5)
+        monitor.on_refresh_interrupt()   # touched -> fast refresh
+        monitor.on_refresh_interrupt()   # idle -> promotion
+        slow = [r for r in monitor.controller.requests
+                if r.rtype is RequestType.RRM_SLOW_REFRESH]
+        assert [r.block for r in slow] == [5]
+        assert monitor.promotions_issued == 1
+
+    def test_promoted_block_untracked(self, monitor):
+        monitor.decide_write_mode(5)
+        monitor.on_refresh_interrupt()
+        monitor.on_refresh_interrupt()
+        # Entry disappears once it holds no fast blocks.
+        assert monitor.tags.lookup(0, touch=False) is None
+
+    def test_rewrite_keeps_block_fast(self, monitor):
+        monitor.decide_write_mode(5)
+        monitor.on_refresh_interrupt()
+        monitor.decide_write_mode(5)     # re-written during the interval
+        monitor.on_refresh_interrupt()
+        assert monitor.promotions_issued == 0
+        assert monitor.fast_refreshes == 2
+
+    def test_write_once_stream_costs_double(self, monitor):
+        """The paper's critique: each write-once block eventually takes a
+        second (promotion) write."""
+        blocks = list(range(16))
+        for block in blocks:
+            monitor.decide_write_mode(block)
+        monitor.on_refresh_interrupt()   # all touched: fast refreshes
+        monitor.on_refresh_interrupt()   # all idle: all promoted
+        assert monitor.promotions_issued == len(blocks)
+
+
+class TestEviction:
+    def test_eviction_promotes_all_blocks(self, modes):
+        config = RRMConfig(n_sets=1, n_ways=2)
+        monitor = PromotionMonitor(config, modes, controller=StubController())
+        monitor.decide_write_mode(0)                        # region 0
+        monitor.decide_write_mode(config.blocks_per_region)  # region 1
+        monitor.decide_write_mode(2 * config.blocks_per_region)  # evicts r0
+        slow = [r for r in monitor.controller.requests
+                if r.rtype is RequestType.RRM_SLOW_REFRESH]
+        assert [r.block for r in slow] == [0]
+        assert monitor.promotions_issued == 1

@@ -1,0 +1,158 @@
+"""Tests for the generic set-associative cache."""
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cache():
+    # 8 sets x 2 ways of 64B blocks = 1KB.
+    return Cache(CacheConfig(size_bytes=1024, n_ways=2, hit_latency_cycles=3))
+
+
+def same_set_blocks(cache, count, set_index=0):
+    n_sets = cache.config.n_sets
+    return [set_index + i * n_sets for i in range(count)]
+
+
+class TestConfig:
+    def test_set_count(self):
+        cfg = CacheConfig(size_bytes=1024, n_ways=2)
+        assert cfg.n_sets == 8
+
+    def test_parse_constructor(self):
+        cfg = CacheConfig.parse("6MB", 24, name="LLC")
+        assert cfg.n_sets == 4096
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 0, "n_ways": 2},
+            {"size_bytes": 100, "n_ways": 2},
+            {"size_bytes": 1024, "n_ways": 0},
+            {"size_bytes": 64 * 24, "n_ways": 16},  # 1.5 sets
+            {"size_bytes": 64 * 2 * 3, "n_ways": 2},  # 3 sets: not 2^k
+            {"size_bytes": 1024, "n_ways": 2, "hit_latency_cycles": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            CacheConfig(**kwargs)
+
+
+class TestReadsAndWrites:
+    def test_cold_miss_then_hit(self, cache):
+        miss = cache.access(0, is_write=False)
+        assert not miss.hit
+        hit = cache.access(0, is_write=False)
+        assert hit.hit
+        assert hit.latency_cycles == 3
+
+    def test_write_allocates_dirty(self, cache):
+        cache.access(0, is_write=True)
+        assert cache.is_dirty(0)
+
+    def test_read_allocates_clean(self, cache):
+        cache.access(0, is_write=False)
+        assert cache.contains(0)
+        assert not cache.is_dirty(0)
+
+    def test_write_hit_reports_prior_dirtiness(self, cache):
+        cache.access(0, is_write=True)
+        second = cache.access(0, is_write=True)
+        assert second.hit and second.was_dirty
+        assert cache.stats.dirty_write_hits == 1
+
+    def test_first_write_hit_on_clean_line(self, cache):
+        cache.access(0, is_write=False)
+        result = cache.access(0, is_write=True)
+        assert result.hit and not result.was_dirty
+
+
+class TestEviction:
+    def test_clean_victim_no_writeback(self, cache):
+        a, b, c = same_set_blocks(cache, 3)
+        cache.access(a, is_write=False)
+        cache.access(b, is_write=False)
+        result = cache.access(c, is_write=False)
+        assert result.writeback_block is None
+
+    def test_dirty_victim_surfaces_writeback(self, cache):
+        a, b, c = same_set_blocks(cache, 3)
+        cache.access(a, is_write=True)
+        cache.access(b, is_write=False)
+        result = cache.access(c, is_write=False)
+        assert result.writeback_block == a
+        assert cache.stats.writebacks == 1
+
+    def test_lru_protects_recently_used(self, cache):
+        a, b, c = same_set_blocks(cache, 3)
+        cache.access(a, is_write=False)
+        cache.access(b, is_write=False)
+        cache.access(a, is_write=False)  # refresh a
+        cache.access(c, is_write=False)  # evicts b
+        assert cache.contains(a) and not cache.contains(b)
+
+
+class TestFillAndWriteInto:
+    def test_fill_inserts_clean(self, cache):
+        assert cache.fill(5) is None
+        assert cache.contains(5) and not cache.is_dirty(5)
+
+    def test_fill_merges_dirty_sticky(self, cache):
+        cache.fill(5, dirty=True)
+        cache.fill(5, dirty=False)
+        assert cache.is_dirty(5)
+
+    def test_write_into_marks_dirty(self, cache):
+        result = cache.write_into(7)
+        assert not result.hit
+        assert cache.is_dirty(7)
+
+    def test_write_into_existing_reports_was_dirty(self, cache):
+        cache.write_into(7)
+        result = cache.write_into(7)
+        assert result.hit and result.was_dirty
+
+    def test_write_into_eviction_cascades(self, cache):
+        a, b, c = same_set_blocks(cache, 3)
+        cache.write_into(a)
+        cache.write_into(b)
+        result = cache.write_into(c)
+        assert result.writeback_block == a
+
+
+class TestInvalidateAndDrain:
+    def test_invalidate_returns_dirtiness(self, cache):
+        cache.access(0, is_write=True)
+        assert cache.invalidate(0) is True
+        assert not cache.contains(0)
+
+    def test_invalidate_clean(self, cache):
+        cache.access(0, is_write=False)
+        assert cache.invalidate(0) is False
+
+    def test_invalidate_missing(self, cache):
+        assert cache.invalidate(99) is False
+
+    def test_dirty_blocks_enumeration(self, cache):
+        cache.access(0, is_write=True)
+        cache.access(1, is_write=False)
+        cache.access(2, is_write=True)
+        assert sorted(cache.dirty_blocks()) == [0, 2]
+
+    def test_occupancy(self, cache):
+        for block in range(5):
+            cache.access(block, is_write=False)
+        assert cache.occupancy == 5
+
+
+class TestStats:
+    def test_miss_rate(self, cache):
+        cache.access(0, is_write=False)  # miss
+        cache.access(0, is_write=False)  # hit
+        cache.access(1, is_write=True)   # miss
+        assert cache.stats.accesses == 3
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)

@@ -1,0 +1,61 @@
+"""Tests for the instruction-level access generator."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.cpu_trace import CpuAccessGenerator, CpuTraceProfile
+
+
+def take(generator, n):
+    return list(itertools.islice(iter(generator), n))
+
+
+class TestStream:
+    def test_deterministic(self):
+        profile = CpuTraceProfile()
+        a = take(CpuAccessGenerator(profile, seed=5), 2000)
+        b = take(CpuAccessGenerator(profile, seed=5), 2000)
+        assert a == b
+
+    def test_blocks_within_footprint(self):
+        profile = CpuTraceProfile(footprint_blocks=4096, frame_blocks=512)
+        for _, block, _ in take(CpuAccessGenerator(profile, base_block=100), 5000):
+            assert 100 <= block < 100 + 4096
+
+    def test_store_fraction_approximate(self):
+        profile = CpuTraceProfile(store_fraction=0.3)
+        accesses = take(CpuAccessGenerator(profile, seed=2), 20000)
+        stores = sum(1 for _, _, w in accesses if w)
+        assert stores / len(accesses) == pytest.approx(0.3, abs=0.03)
+
+    def test_gap_tracks_access_rate(self):
+        profile = CpuTraceProfile(accesses_per_kilo_instr=250.0)
+        accesses = take(CpuAccessGenerator(profile, seed=2), 20000)
+        mean_gap = sum(g for g, _, _ in accesses) / len(accesses)
+        assert mean_gap == pytest.approx(4.0, rel=0.15)
+
+    def test_reuse_dominates(self):
+        """Most accesses re-touch the recency pool -> few distinct blocks."""
+        profile = CpuTraceProfile(reuse_fraction=0.9)
+        accesses = take(CpuAccessGenerator(profile, seed=2), 10000)
+        distinct = len({block for _, block, _ in accesses})
+        assert distinct < len(accesses) / 4
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"accesses_per_kilo_instr": 0},
+            {"store_fraction": 1.5},
+            {"reuse_fraction": -0.1},
+            {"pool_blocks": 0},
+            {"footprint_blocks": 100, "frame_blocks": 200},
+            {"frame_jump_prob": 2.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            CpuTraceProfile(**kwargs)

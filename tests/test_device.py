@@ -1,0 +1,69 @@
+"""Tests for the assembled PCM device."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.device import BLOCK_BYTES, PCMDevice
+from repro.pcm.endurance import WearTracker
+from repro.pcm.energy import EnergyModel
+from repro.utils.units import parse_size
+
+
+class TestGeometry:
+    def test_block_count(self, small_device):
+        assert small_device.n_blocks == parse_size("16MB") // BLOCK_BYTES
+
+    def test_bank_grid(self, small_device):
+        assert small_device.n_banks == 4
+        assert len(small_device.banks()) == 4
+
+    def test_banks_distinct(self, small_device):
+        banks = small_device.banks()
+        banks[0].schedule_read(0.0, row=1)
+        assert banks[1].reads_served == 0
+
+    def test_bank_accessor_matches_flat_order(self, small_device):
+        flat = small_device.banks()
+        assert flat[0] is small_device.bank(0, 0)
+        assert flat[1] is small_device.bank(0, 1)
+        assert flat[2] is small_device.bank(1, 0)
+
+    def test_blocks_per_row(self, small_device):
+        assert small_device.blocks_per_row == 1024 // 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 0},
+            {"size_bytes": 100},  # not a multiple of 64
+            {"size_bytes": 1 << 20, "n_channels": 0},
+            {"size_bytes": 1 << 20, "row_bytes": 100},
+        ],
+    )
+    def test_invalid_geometry(self, kwargs):
+        with pytest.raises(ConfigError):
+            PCMDevice(**kwargs)
+
+
+class TestGlobalRefresh:
+    def test_rounds_fractional(self, small_device):
+        assert small_device.global_refresh_rounds(5.0, 2.0) == pytest.approx(2.5)
+
+    def test_zero_duration(self, small_device):
+        assert small_device.global_refresh_rounds(0.0, 2.0) == 0.0
+
+    def test_invalid_interval(self, small_device):
+        with pytest.raises(ConfigError):
+            small_device.global_refresh_rounds(1.0, 0.0)
+
+    def test_accounting_updates_wear_and_energy(self, small_device):
+        wear = WearTracker()
+        energy = EnergyModel(modes=small_device.modes)
+        rewrites = small_device.account_global_refresh(
+            duration_s=4.0, interval_s=2.0, n_sets=7, wear=wear, energy=energy
+        )
+        assert rewrites == pytest.approx(2 * small_device.n_blocks)
+        assert wear.breakdown.global_refresh_writes == 2 * small_device.n_blocks
+        assert energy.breakdown.global_refresh_energy == pytest.approx(
+            2 * small_device.n_blocks * 1.0
+        )

@@ -1,0 +1,120 @@
+"""Tests for distribution statistics."""
+
+import pytest
+
+from repro.analysis.distributions import (
+    DistributionSummary,
+    gini_coefficient,
+    lorenz_curve,
+    quantile,
+    summarize,
+    wear_histogram,
+)
+from repro.errors import ConfigError
+
+
+class TestQuantile:
+    def test_median_of_odd(self):
+        assert quantile([1, 2, 3], 0.5) == 2
+
+    def test_interpolation(self):
+        assert quantile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [3, 7, 9]
+        assert quantile(data, 0.0) == 3
+        assert quantile(data, 1.0) == 9
+
+    def test_single_element(self):
+        assert quantile([5], 0.9) == 5.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            quantile([], 0.5)
+        with pytest.raises(ConfigError):
+            quantile([1], 1.5)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([4, 4, 4, 4]) == pytest.approx(0.0)
+
+    def test_concentration_approaches_one(self):
+        value = gini_coefficient([0] * 99 + [100])
+        assert value > 0.95
+
+    def test_known_two_point(self):
+        # [0, 1]: Gini = 0.5 for n=2.
+        assert gini_coefficient([0, 1]) == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1, 2, 3, 10])
+        b = gini_coefficient([10, 20, 30, 100])
+        assert a == pytest.approx(b)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            gini_coefficient([1, -1])
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.total == 10
+        assert summary.mean == 2.5
+        assert summary.minimum == 1 and summary.maximum == 4
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_leveling_efficiency(self):
+        summary = summarize([5, 5, 10])
+        assert summary.leveling_efficiency == pytest.approx((20 / 3) / 10)
+        assert summary.max_over_mean == pytest.approx(10 / (20 / 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+
+class TestLorenz:
+    def test_endpoints(self):
+        curve = lorenz_curve([1, 2, 3, 4], points=5)
+        assert curve[0] == (0.0, 0.0)
+        assert curve[-1][1] == pytest.approx(1.0)
+
+    def test_uniform_is_diagonal(self):
+        curve = lorenz_curve([2] * 10, points=6)
+        for population, value in curve:
+            assert value == pytest.approx(population, abs=1e-9)
+
+    def test_concentrated_sags(self):
+        curve = lorenz_curve([0] * 9 + [10], points=11)
+        # 90% of the population holds 0% of the value.
+        mid = [v for p, v in curve if abs(p - 0.9) < 1e-9]
+        assert mid and mid[0] == pytest.approx(0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            lorenz_curve([], points=5)
+        with pytest.raises(ConfigError):
+            lorenz_curve([1], points=1)
+
+
+class TestWearHistogram:
+    def test_binning(self):
+        wear = {0: 1, 1: 5, 2: 50, 3: 500}
+        hist = wear_histogram(wear, (1, 10, 100))
+        assert hist["[1, 10)"] == 2
+        assert hist["[10, 100)"] == 1
+        assert hist[">= 100"] == 1
+
+    def test_below_first_edge_dropped(self):
+        hist = wear_histogram({0: 0}, (1, 10))
+        assert sum(hist.values()) == 0
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ConfigError):
+            wear_histogram({}, (10, 1))

@@ -1,0 +1,139 @@
+"""Tests for the resistance-drift model (paper Table I reproduction)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.drift import (
+    MAX_SET_ITERATIONS,
+    MIN_SET_ITERATIONS,
+    DriftModel,
+    DriftParameters,
+)
+
+#: Paper Table I retention times, by SET count.
+PAPER_RETENTION_S = {3: 2.01, 4: 24.05, 5: 104.4, 6: 991.4, 7: 3054.9}
+
+
+class TestTableIReproduction:
+    @pytest.mark.parametrize("n_sets,expected", sorted(PAPER_RETENTION_S.items()))
+    def test_retention_matches_paper(self, n_sets, expected):
+        model = DriftModel()
+        assert model.retention_seconds(n_sets) == pytest.approx(expected, rel=0.005)
+
+    def test_retention_monotonic_in_sets(self):
+        model = DriftModel()
+        retentions = [
+            model.retention_seconds(n)
+            for n in range(MIN_SET_ITERATIONS, MAX_SET_ITERATIONS + 1)
+        ]
+        assert retentions == sorted(retentions)
+        assert retentions[0] < retentions[-1] / 100
+
+
+class TestPowerLaw:
+    def test_no_drift_before_t0(self):
+        model = DriftModel()
+        assert model.resistance_ratio(0.0) == 1.0
+        assert model.resistance_ratio(0.5) == 1.0
+
+    def test_ratio_grows_as_power_law(self):
+        model = DriftModel()
+        r10 = model.resistance_ratio(10.0)
+        r1000 = model.resistance_ratio(1000.0)
+        # Two decades of time -> 2*nu decades of resistance.
+        assert r1000 / r10 == pytest.approx(10 ** (2 * model.params.nu), rel=1e-9)
+
+    def test_drift_decades_log_of_ratio(self):
+        model = DriftModel()
+        assert model.drift_decades(100.0) == pytest.approx(
+            model.params.nu * 2, rel=1e-9
+        )
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            DriftModel().resistance_ratio(-1.0)
+
+
+class TestMargins:
+    def test_margin_increases_with_sets(self):
+        model = DriftModel()
+        margins = [model.margin_decades(n) for n in range(3, 8)]
+        assert margins == sorted(margins)
+
+    def test_margin_retention_roundtrip(self):
+        model = DriftModel()
+        for n in range(3, 8):
+            margin = model.margin_decades(n)
+            retention = model.retention_from_margin(margin)
+            assert model.margin_for_retention(retention) == pytest.approx(margin)
+
+    def test_sigma_decreases_with_sets(self):
+        model = DriftModel()
+        sigmas = [model.programming_sigma(n) for n in range(3, 8)]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_out_of_range_sets_rejected(self):
+        model = DriftModel()
+        for bad in (2, 8, 0, -1):
+            with pytest.raises(ConfigError):
+                model.retention_seconds(bad)
+
+
+class TestDataValidity:
+    def test_data_valid_within_retention(self):
+        model = DriftModel()
+        assert model.data_valid(3, 1.0)
+        assert model.data_valid(7, 3000.0)
+
+    def test_data_invalid_after_retention(self):
+        model = DriftModel()
+        assert not model.data_valid(3, 3.0)
+        assert not model.data_valid(7, 4000.0)
+
+    def test_validity_boundary_matches_retention(self):
+        model = DriftModel()
+        retention = model.retention_seconds(5)
+        assert model.data_valid(5, retention * 0.99)
+        assert not model.data_valid(5, retention * 1.01)
+
+
+class TestDriftScale:
+    def test_scale_divides_retention(self):
+        base = DriftModel()
+        scaled = DriftModel(DriftParameters(drift_scale=50.0))
+        for n in range(3, 8):
+            assert scaled.retention_seconds(n) == pytest.approx(
+                base.retention_seconds(n) / 50.0
+            )
+
+    def test_scale_preserves_mode_ratios(self):
+        base = DriftModel()
+        scaled = DriftModel(DriftParameters(drift_scale=25.0))
+        assert scaled.retention_seconds(7) / scaled.retention_seconds(3) == (
+            pytest.approx(base.retention_seconds(7) / base.retention_seconds(3))
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            DriftParameters(drift_scale=0.0)
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nu": 0.0},
+            {"nu": -0.1},
+            {"t0": 0.0},
+            {"guardband_decades": 0.0},
+            {"sigma_multiplier": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            DriftParameters(**kwargs)
+
+    def test_tiny_guardband_leaves_no_margin(self):
+        model = DriftModel(DriftParameters(guardband_decades=0.01))
+        with pytest.raises(ConfigError):
+            model.margin_decades(3)

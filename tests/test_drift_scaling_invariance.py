@@ -1,0 +1,86 @@
+"""Invariance checks for the drift-scaling substitution (DESIGN.md #3).
+
+The scaled experiment methodology rests on two claims:
+
+1. compressing retention times and the run duration by the same factor
+   preserves the *count* of refresh intervals and decay windows per run;
+2. the lifetime model converts refresh rates back to the paper's
+   timescale, so reported lifetimes are scale-consistent.
+
+These tests validate both directly on small systems.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.monitor import RegionRetentionMonitor
+from repro.engine import Simulator
+from repro.pcm.drift import DriftModel, DriftParameters
+from repro.pcm.write_modes import WriteModeTable
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_workload
+from repro.sim.schemes import Scheme
+from repro.utils.units import s_to_ns
+
+
+def _monitor_at_scale(scale, rrm_config):
+    modes = WriteModeTable(DriftModel(DriftParameters(drift_scale=scale)))
+    sim = Simulator()
+    monitor = RegionRetentionMonitor(rrm_config, modes, sim=sim)
+    monitor.start()
+    return sim, monitor
+
+
+class TestIntervalCountInvariance:
+    @pytest.mark.parametrize("scale", [1.0, 10.0, 200.0])
+    def test_interrupts_per_virtual_window_constant(self, scale, rrm_config):
+        """Over the same *virtual* duration, every drift scale sees the
+        same number of refresh interrupts and decay ticks."""
+        virtual_window_s = 5.0
+        sim, monitor = _monitor_at_scale(scale, rrm_config)
+        sim.run(until=s_to_ns(virtual_window_s / scale))
+        # 5 virtual seconds / ~2s virtual interval = 2 full interrupts.
+        assert monitor.stats.refresh_interrupts == 2
+        assert monitor.stats.decay_ticks == 40
+
+    def test_interval_ratio_matches_modes(self, rrm_config):
+        _, monitor = _monitor_at_scale(50.0, rrm_config)
+        assert monitor.decay_period_s * rrm_config.decay_ticks_per_interval == (
+            pytest.approx(monitor.refresh_interval_s)
+        )
+
+
+class TestLifetimeScaleConsistency:
+    def test_static_lifetime_insensitive_to_drift_scale(self):
+        """Static-scheme lifetimes are dominated by demand rate and the
+        *virtual* refresh interval, so two runs that differ only in
+        drift_scale (with matched virtual duration) must report similar
+        lifetimes."""
+        base = SystemConfig.tiny()  # drift_scale 200, duration 0.02
+        slower = dataclasses.replace(
+            base, drift_scale=100.0, duration_s=0.04
+        )
+        a = run_workload(base, "GemsFDTD", Scheme.STATIC_7)
+        b = run_workload(slower, "GemsFDTD", Scheme.STATIC_7)
+        assert a.virtual_duration_s == pytest.approx(b.virtual_duration_s)
+        assert a.lifetime_years == pytest.approx(b.lifetime_years, rel=0.25)
+
+    def test_static3_lifetime_matches_analytic_bound(self):
+        """With the refresh-dominated fast scheme, lifetime approaches the
+        analytic endurance*interval bound regardless of configuration."""
+        config = SystemConfig.tiny()
+        result = run_workload(config, "hmmer", Scheme.STATIC_3)
+        # Analytic ceiling: endurance * efficiency * virtual interval.
+        from repro.utils.units import S_PER_YEAR
+
+        ceiling = 5e6 * 0.95 * 2.0 / S_PER_YEAR
+        assert result.lifetime_years <= ceiling * 1.01
+        assert result.lifetime_years > ceiling * 0.3
+
+    def test_rrm_refresh_rate_reported_on_virtual_timescale(self):
+        config = SystemConfig.tiny()
+        result = run_workload(config, "GemsFDTD", Scheme.RRM)
+        refreshes = result.rrm_fast_refreshes + result.rrm_slow_refreshes
+        expected_rate = refreshes / result.virtual_duration_s
+        assert result.wear.rrm_refresh_rate == pytest.approx(expected_rate)

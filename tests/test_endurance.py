@@ -1,0 +1,122 @@
+"""Tests for wear tracking and the lifetime model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.endurance import EnduranceModel, WearTracker
+from repro.utils.units import S_PER_YEAR
+
+
+class TestWearTracker:
+    def test_demand_writes_counted(self):
+        tracker = WearTracker()
+        for block in (1, 2, 1):
+            tracker.record_demand_write(block)
+        assert tracker.breakdown.demand_writes == 3
+        assert tracker.per_block[1] == 2
+
+    def test_rrm_refresh_counted_separately(self):
+        tracker = WearTracker()
+        tracker.record_rrm_refresh(5)
+        assert tracker.breakdown.rrm_refresh_writes == 1
+        assert tracker.breakdown.demand_writes == 0
+
+    def test_global_refresh_rounds(self):
+        tracker = WearTracker()
+        tracker.record_global_refresh_round(n_blocks=1000, rounds=2.5)
+        assert tracker.breakdown.global_refresh_writes == 2500
+        assert tracker.uniform_wear == 2.5
+
+    def test_total_combines_sources(self):
+        tracker = WearTracker()
+        tracker.record_demand_write(0)
+        tracker.record_rrm_refresh(0)
+        tracker.record_global_refresh_round(10, 1.0)
+        assert tracker.breakdown.total == 12
+        assert tracker.breakdown.refresh_writes == 11
+
+    def test_max_block_wear_includes_uniform(self):
+        tracker = WearTracker()
+        tracker.record_demand_write(7)
+        tracker.record_demand_write(7)
+        tracker.record_global_refresh_round(100, 3.0)
+        assert tracker.max_block_wear() == pytest.approx(5.0)
+
+    def test_per_block_tracking_can_be_disabled(self):
+        tracker = WearTracker(track_per_block=False)
+        tracker.record_demand_write(1)
+        assert tracker.breakdown.demand_writes == 1
+        assert not tracker.per_block
+
+    def test_invalid_global_refresh(self):
+        tracker = WearTracker()
+        with pytest.raises(ConfigError):
+            tracker.record_global_refresh_round(0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.record_global_refresh_round(10, -1.0)
+
+
+class TestLifetime:
+    def test_paper_static3_lifetime(self):
+        """The paper's headline: global refresh every 2s on 8GB at 5e6
+        endurance with 95% levelling gives ~0.3 years."""
+        model = EnduranceModel()
+        n_blocks = (8 << 30) // 64
+        refresh_rate = n_blocks / 2.0  # block writes per second
+        years = model.lifetime_years(
+            total_block_writes=refresh_rate * 5.0, window_seconds=5.0, n_blocks=n_blocks
+        )
+        assert years == pytest.approx(5e6 * 0.95 * 2.0 / S_PER_YEAR, rel=1e-6)
+        assert years == pytest.approx(0.301, abs=0.005)
+
+    def test_lifetime_inverse_in_write_rate(self):
+        model = EnduranceModel()
+        slow = model.lifetime_years(1000, 1.0, 10_000)
+        fast = model.lifetime_years(2000, 1.0, 10_000)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_zero_writes_is_infinite(self):
+        model = EnduranceModel()
+        assert model.lifetime_years(0, 1.0, 100) == float("inf")
+
+    def test_levelling_efficiency_scales_lifetime(self):
+        ideal = EnduranceModel(wear_leveling_efficiency=1.0)
+        real = EnduranceModel(wear_leveling_efficiency=0.95)
+        assert real.lifetime_years(100, 1.0, 100) == pytest.approx(
+            0.95 * ideal.lifetime_years(100, 1.0, 100)
+        )
+
+    def test_lifetime_from_wear_breakdown(self):
+        model = EnduranceModel()
+        tracker = WearTracker()
+        for _ in range(100):
+            tracker.record_demand_write(0)
+        direct = model.lifetime_years(100, 1.0, 1000)
+        via_wear = model.lifetime_years_from_wear(tracker.breakdown, 1.0, 1000)
+        assert via_wear == pytest.approx(direct)
+
+    def test_extra_writes_added(self):
+        model = EnduranceModel()
+        tracker = WearTracker()
+        tracker.record_demand_write(0)
+        with_extra = model.lifetime_years_from_wear(
+            tracker.breakdown, 1.0, 1000, extra_writes=1.0
+        )
+        without = model.lifetime_years_from_wear(tracker.breakdown, 1.0, 1000)
+        assert with_extra == pytest.approx(without / 2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"endurance_writes": 0},
+            {"wear_leveling_efficiency": 0.0},
+            {"wear_leveling_efficiency": 1.5},
+        ],
+    )
+    def test_invalid_model_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            EnduranceModel(**kwargs)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigError):
+            EnduranceModel().lifetime_years(10, 0.0, 100)

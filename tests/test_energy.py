@@ -1,0 +1,54 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.pcm.energy import EnergyModel
+
+
+class TestAccumulation:
+    def test_write_energy_uses_mode_table(self, modes):
+        model = EnergyModel(modes=modes)
+        model.record_write(7)
+        model.record_write(3)
+        assert model.breakdown.write_energy == pytest.approx(1.0 + 0.84)
+
+    def test_bulk_counts(self, modes):
+        model = EnergyModel(modes=modes)
+        model.record_write(7, count=10)
+        assert model.breakdown.write_energy == pytest.approx(10.0)
+
+    def test_read_energy(self, modes):
+        model = EnergyModel(modes=modes, read_energy_units=0.05)
+        model.record_read(count=100)
+        assert model.breakdown.read_energy == pytest.approx(5.0)
+
+    def test_rrm_refresh_energy_split_from_global(self, modes):
+        model = EnergyModel(modes=modes)
+        model.record_rrm_refresh(3, count=2)
+        model.record_global_refresh(7, count=3)
+        assert model.breakdown.rrm_refresh_energy == pytest.approx(2 * 0.84)
+        assert model.breakdown.global_refresh_energy == pytest.approx(3.0)
+        assert model.breakdown.refresh_energy == pytest.approx(2 * 0.84 + 3.0)
+
+    def test_total_is_sum_of_parts(self, modes):
+        model = EnergyModel(modes=modes)
+        model.record_write(5)
+        model.record_read()
+        model.record_rrm_refresh(3)
+        model.record_global_refresh(7, 1)
+        parts = model.breakdown.as_dict()
+        assert parts["total"] == pytest.approx(
+            parts["write"] + parts["read"] + parts["rrm_refresh"] + parts["global_refresh"]
+        )
+
+    def test_negative_count_rejected(self, modes):
+        model = EnergyModel(modes=modes)
+        with pytest.raises(ValueError):
+            model.record_write(7, count=-1)
+
+    def test_fast_writes_cost_less_than_slow(self, modes):
+        fast = EnergyModel(modes=modes)
+        slow = EnergyModel(modes=modes)
+        fast.record_write(3, count=100)
+        slow.record_write(7, count=100)
+        assert fast.breakdown.write_energy < slow.breakdown.write_energy

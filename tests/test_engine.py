@@ -1,0 +1,140 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        log = []
+        sim.schedule_at(30.0, lambda: log.append("c"))
+        sim.schedule_at(10.0, lambda: log.append("a"))
+        sim.schedule_at(20.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self, sim):
+        log = []
+        for name in "abcd":
+            sim.schedule_at(5.0, lambda n=name: log.append(n))
+        sim.run()
+        assert log == list("abcd")
+
+    def test_now_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule_at(42.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42.0]
+
+    def test_schedule_after_is_relative(self, sim):
+        seen = []
+        sim.schedule_at(10.0, lambda: sim.schedule_after(5.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_past_scheduling_rejected(self, sim):
+        sim.schedule_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_events_processed_counter(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+
+class TestRunBounds:
+    def test_until_excludes_later_events(self, sim):
+        log = []
+        sim.schedule_at(10.0, lambda: log.append(1))
+        sim.schedule_at(100.0, lambda: log.append(2))
+        sim.run(until=50.0)
+        assert log == [1]
+
+    def test_until_advances_clock_even_if_idle(self, sim):
+        sim.run(until=77.0)
+        assert sim.now == 77.0
+
+    def test_remaining_events_fire_on_next_run(self, sim):
+        log = []
+        sim.schedule_at(100.0, lambda: log.append(2))
+        sim.run(until=50.0)
+        sim.run()
+        assert log == [2]
+
+    def test_max_events_bound(self, sim):
+        log = []
+        for t in range(10):
+            sim.schedule_at(float(t + 1), lambda: log.append(1))
+        sim.run(max_events=4)
+        assert len(log) == 4
+
+    def test_stop_ends_run(self, sim):
+        log = []
+        sim.schedule_at(1.0, lambda: (log.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1]
+        sim.run()
+        assert log == [1, 2]
+
+    def test_run_not_reentrant(self, sim):
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule_at(1.0, nested)
+        sim.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, sim):
+        log = []
+        event = sim.schedule_at(1.0, lambda: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_pending_events_ignores_cancelled(self, sim):
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 1
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self, sim):
+        ticks = []
+        sim.schedule_periodic(10.0, lambda: ticks.append(sim.now))
+        sim.run(until=45.0)
+        assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+    def test_periodic_with_explicit_start(self, sim):
+        ticks = []
+        sim.schedule_periodic(10.0, lambda: ticks.append(sim.now), start=5.0)
+        sim.run(until=30.0)
+        assert ticks == [5.0, 15.0, 25.0]
+
+    def test_periodic_stops_on_stopiteration(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                raise StopIteration
+
+        sim.schedule_periodic(1.0, tick)
+        sim.run(until=100.0)
+        assert len(ticks) == 3
+
+    def test_zero_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(0.0, lambda: None)

@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.SimulationError,
+            errors.QueueFullError,
+            errors.TraceFormatError,
+            errors.RetentionViolationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_queue_full_is_simulation_error(self):
+        assert issubclass(errors.QueueFullError, errors.SimulationError)
+
+    def test_retention_violation_is_simulation_error(self):
+        assert issubclass(errors.RetentionViolationError, errors.SimulationError)
+
+    def test_catching_base_does_not_catch_builtin(self):
+        with pytest.raises(ValueError):
+            try:
+                raise ValueError("not ours")
+            except errors.ReproError:  # pragma: no cover
+                pytest.fail("ReproError must not catch ValueError")

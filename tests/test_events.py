@@ -1,0 +1,26 @@
+"""Tests for workload event encoding."""
+
+import pytest
+
+from repro.workloads.events import (
+    EV_READ,
+    EV_REGISTER,
+    EV_WRITE,
+    event_kind_name,
+)
+
+
+class TestKinds:
+    def test_kinds_distinct(self):
+        assert len({EV_READ, EV_WRITE, EV_REGISTER}) == 3
+
+    @pytest.mark.parametrize(
+        "kind,name",
+        [(EV_READ, "read"), (EV_WRITE, "write"), (EV_REGISTER, "register")],
+    )
+    def test_names(self, kind, name):
+        assert event_kind_name(kind) == name
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_kind_name(99)

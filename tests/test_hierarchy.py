@@ -1,0 +1,119 @@
+"""Tests for the three-level cache hierarchy wiring."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def tiny_hierarchy():
+    """2 cores; 4-set caches so evictions happen quickly."""
+    return CacheHierarchy(
+        HierarchyConfig(
+            n_cores=2,
+            l1=CacheConfig(size_bytes=64 * 8, n_ways=2, hit_latency_cycles=2, name="L1D"),
+            l2=CacheConfig(size_bytes=64 * 16, n_ways=4, hit_latency_cycles=12, name="L2"),
+            llc=CacheConfig(size_bytes=64 * 32, n_ways=4, hit_latency_cycles=35, name="LLC"),
+        )
+    )
+
+
+class TestLookupPath:
+    def test_cold_miss_reaches_memory(self, tiny_hierarchy):
+        traffic = tiny_hierarchy.access(0, block=100, is_write=False)
+        assert traffic.memory_read_block == 100
+        assert traffic.latency_cycles == 2 + 12 + 35
+
+    def test_l1_hit_costs_l1_only(self, tiny_hierarchy):
+        tiny_hierarchy.access(0, 100, is_write=False)
+        traffic = tiny_hierarchy.access(0, 100, is_write=False)
+        assert traffic.memory_read_block is None
+        assert traffic.latency_cycles == 2
+
+    def test_llc_hit_after_other_core_fetch(self, tiny_hierarchy):
+        tiny_hierarchy.access(0, 100, is_write=False)
+        traffic = tiny_hierarchy.access(1, 100, is_write=False)
+        assert traffic.memory_read_block is None
+        assert traffic.latency_cycles == 2 + 12 + 35
+
+    def test_invalid_core_rejected(self, tiny_hierarchy):
+        with pytest.raises(ConfigError):
+            tiny_hierarchy.access(5, 0, is_write=False)
+
+
+class TestWritebackChain:
+    def _thrash_core(self, hierarchy, core, blocks, write=True):
+        for block in blocks:
+            hierarchy.access(core, block, is_write=write)
+
+    def test_dirty_l1_victims_reach_l2(self, tiny_hierarchy):
+        l1 = tiny_hierarchy.l1[0]
+        set_stride = l1.config.n_sets
+        blocks = [i * set_stride for i in range(l1.config.n_ways + 1)]
+        self._thrash_core(tiny_hierarchy, 0, blocks)
+        # The evicted dirty line now lives dirty in L2.
+        assert tiny_hierarchy.l2[0].is_dirty(blocks[0])
+
+    def test_llc_write_registration_emitted(self, tiny_hierarchy):
+        """Thrash enough dirty lines through L1 and L2 that the LLC sees
+        writes — each must carry a registration tuple."""
+        l2 = tiny_hierarchy.l2[0]
+        stride = l2.config.n_sets
+        blocks = [i * stride for i in range(64)]
+        registrations = []
+        for block in blocks:
+            traffic = tiny_hierarchy.access(0, block, is_write=True)
+            registrations.extend(traffic.llc_writes)
+        assert registrations, "no LLC writes observed"
+        for block, was_dirty in registrations:
+            assert isinstance(was_dirty, bool)
+
+    def test_memory_writes_eventually_emitted(self, tiny_hierarchy):
+        llc_blocks = tiny_hierarchy.llc.config.n_sets * tiny_hierarchy.llc.config.n_ways
+        writes = []
+        for block in range(llc_blocks * 4):
+            traffic = tiny_hierarchy.access(0, block, is_write=True)
+            writes.extend(traffic.memory_write_blocks)
+        assert writes, "dirty LLC victims never reached memory"
+
+
+class TestDrain:
+    def test_drain_flushes_all_dirty_state(self, tiny_hierarchy):
+        for block in (1, 2, 3):
+            tiny_hierarchy.access(0, block, is_write=True)
+        written = tiny_hierarchy.drain_dirty()
+        assert sorted(written) == [1, 2, 3]
+        assert tiny_hierarchy.drain_dirty() == []
+
+    def test_clean_data_not_written(self, tiny_hierarchy):
+        tiny_hierarchy.access(0, 9, is_write=False)
+        assert tiny_hierarchy.drain_dirty() == []
+
+
+class TestMPKI:
+    def test_mpki_counts_llc_misses(self, tiny_hierarchy):
+        for block in range(10):
+            tiny_hierarchy.access(0, block, is_write=False)
+        assert tiny_hierarchy.mpki([1000, 0]) == pytest.approx(10.0)
+
+    def test_zero_instructions(self, tiny_hierarchy):
+        assert tiny_hierarchy.mpki([0, 0]) == 0.0
+
+
+class TestScaledConfig:
+    def test_scaled_shrinks_caches(self):
+        cfg = HierarchyConfig.scaled(64)
+        assert cfg.l1.size_bytes < 32 * 1024
+        assert cfg.llc.size_bytes < 6 << 20
+
+    def test_paper_defaults(self):
+        cfg = HierarchyConfig()
+        assert cfg.l1.n_sets == 128
+        assert cfg.l2.n_sets == 512
+        assert cfg.llc.n_sets == 4096
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            HierarchyConfig.scaled(0)

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.mathx."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.mathx import clamp, geomean, is_power_of_two, log2_int, weighted_mean
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_known_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_order_invariance(self):
+        assert geomean([2, 3, 5]) == pytest.approx(geomean([5, 2, 3]))
+
+    def test_scaling_property(self):
+        values = [1.5, 2.5, 9.0]
+        assert geomean([2 * v for v in values]) == pytest.approx(2 * geomean(values))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_accepts_generator(self):
+        assert geomean(x for x in [4.0, 9.0]) == pytest.approx(6.0)
+
+
+class TestWeightedMean:
+    def test_uniform_weights(self):
+        assert weighted_mean([1, 2, 3], [1, 1, 1]) == pytest.approx(2.0)
+
+    def test_skewed_weights(self):
+        assert weighted_mean([10, 0], [3, 1]) == pytest.approx(7.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1, 2], [1])
+
+    def test_zero_weight_sum(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1], [0])
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 256, 1 << 30])
+    def test_powers_accepted(self, n):
+        assert is_power_of_two(n)
+        assert log2_int(n) == int(math.log2(n))
+
+    @pytest.mark.parametrize("n", [0, -4, 3, 24, 100])
+    def test_non_powers_rejected(self, n):
+        assert not is_power_of_two(n)
+        with pytest.raises(ConfigError):
+            log2_int(n)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert clamp(-1, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(11, 0, 10) == 10
+
+    def test_empty_range(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 2)

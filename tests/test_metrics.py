@@ -1,0 +1,94 @@
+"""Tests for run metrics and reporting structures."""
+
+import pytest
+
+from repro.pcm.endurance import EnduranceModel
+from repro.sim.metrics import EnergyReport, SimResult, WearReport
+from repro.sim.schemes import Scheme
+from repro.utils.units import S_PER_YEAR
+
+
+def make_result(**kw):
+    defaults = dict(
+        scheme=Scheme.RRM,
+        workload="GemsFDTD",
+        duration_s=0.1,
+        drift_scale=50.0,
+        n_blocks=1_000_000,
+    )
+    defaults.update(kw)
+    return SimResult(**defaults)
+
+
+class TestWearReport:
+    def test_rates_compose(self):
+        wear = WearReport(
+            demand_rate=100.0,
+            rrm_fast_refresh_rate=10.0,
+            rrm_slow_refresh_rate=5.0,
+            global_refresh_rate=20.0,
+        )
+        assert wear.rrm_refresh_rate == 15.0
+        assert wear.refresh_rate == 35.0
+        assert wear.total_rate == 135.0
+
+    def test_per_window_scaling(self):
+        wear = WearReport(demand_rate=10.0, global_refresh_rate=2.0)
+        window = wear.per_window(5.0)
+        assert window["write"] == 50.0
+        assert window["global_refresh"] == 10.0
+        assert window["total"] == 60.0
+
+
+class TestEnergyReport:
+    def test_totals(self):
+        energy = EnergyReport(
+            write_rate=4.0, read_rate=1.0,
+            rrm_refresh_rate=0.5, global_refresh_rate=0.5,
+        )
+        assert energy.refresh_rate == 1.0
+        assert energy.total_rate == 6.0
+        assert energy.per_window(2.0)["total"] == 12.0
+
+
+class TestSimResult:
+    def test_virtual_duration(self):
+        result = make_result()
+        assert result.virtual_duration_s == pytest.approx(5.0)
+
+    def test_fast_write_fraction(self):
+        result = make_result(fast_writes=80, slow_writes=20)
+        assert result.fast_write_fraction == pytest.approx(0.8)
+
+    def test_fast_write_fraction_no_writes(self):
+        assert make_result().fast_write_fraction == 0.0
+
+    def test_lifetime_computation(self):
+        result = make_result()
+        result.wear = WearReport(demand_rate=1000.0)
+        endurance = EnduranceModel(
+            endurance_writes=1000, wear_leveling_efficiency=1.0
+        )
+        years = result.compute_lifetime(endurance)
+        expected = 1000 * 1_000_000 / 1000.0 / S_PER_YEAR
+        assert years == pytest.approx(expected)
+        assert result.lifetime_years == years
+
+    def test_zero_wear_infinite_lifetime(self):
+        result = make_result()
+        assert result.compute_lifetime(EnduranceModel()) == float("inf")
+
+    def test_summary_contains_key_fields(self):
+        result = make_result(ipc=1.234)
+        result.lifetime_years = 6.4
+        text = result.summary()
+        assert "GemsFDTD" in text and "RRM" in text and "1.234" in text
+
+    def test_as_dict_round_numbers(self):
+        result = make_result(reads=10, writes=5, fast_writes=5)
+        data = result.as_dict()
+        assert data["workload"] == "GemsFDTD"
+        assert data["scheme"] == "RRM"
+        assert data["reads"] == 10
+        assert data["fast_writes"] == 5
+        assert "lifetime_years" in data

@@ -1,0 +1,51 @@
+"""Tests for workload composition."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.mixes import (
+    MIXES,
+    all_workload_names,
+    mix_profiles,
+    workload_profiles,
+)
+
+
+class TestMixes:
+    def test_paper_mix_membership(self):
+        assert MIXES["MIX_1"] == ["mcf", "bwaves", "zeusmp", "milc"]
+        assert MIXES["MIX_2"] == ["GemsFDTD", "libquantum", "lbm", "leslie3d"]
+
+    def test_mix_profiles_resolved(self):
+        profiles = mix_profiles("MIX_1")
+        assert [p.name for p in profiles] == ["mcf", "bwaves", "zeusmp", "milc"]
+
+    def test_unknown_mix(self):
+        with pytest.raises(ConfigError):
+            mix_profiles("MIX_9")
+
+
+class TestWorkloadProfiles:
+    def test_single_benchmark_replicated(self):
+        profiles = workload_profiles("GemsFDTD", n_cores=4)
+        assert len(profiles) == 4
+        assert all(p.name == "GemsFDTD" for p in profiles)
+
+    def test_mix_requires_matching_core_count(self):
+        with pytest.raises(ConfigError):
+            workload_profiles("MIX_1", n_cores=2)
+
+    def test_mix_resolves(self):
+        profiles = workload_profiles("MIX_2", n_cores=4)
+        assert [p.name for p in profiles] == MIXES["MIX_2"]
+
+    def test_two_core_single_benchmark(self):
+        assert len(workload_profiles("hmmer", n_cores=2)) == 2
+
+
+class TestWorkloadNames:
+    def test_eleven_workloads(self):
+        names = all_workload_names()
+        assert len(names) == 11
+        assert "MIX_1" in names and "MIX_2" in names
+        assert "GemsFDTD" in names

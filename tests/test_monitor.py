@@ -1,0 +1,263 @@
+"""Tests for the Region Retention Monitor behaviour (paper Section IV)."""
+
+import pytest
+
+from repro.core.config import RRMConfig
+from repro.core.monitor import RegionRetentionMonitor
+from repro.engine import Simulator
+from repro.errors import ConfigError
+from repro.memctrl.request import RequestType
+from repro.pcm.write_modes import WriteModeTable
+from repro.utils.units import s_to_ns
+
+
+class StubController:
+    """Records refresh requests; can simulate a full queue."""
+
+    def __init__(self, accept=True):
+        self.accept = accept
+        self.requests = []
+        self.waiters = []
+
+    def can_accept(self, rtype, block):
+        return self.accept
+
+    def enqueue(self, request):
+        self.requests.append(request)
+
+    def notify_space(self, rtype, block, callback):
+        self.waiters.append(callback)
+
+    def release(self):
+        self.accept = True
+        waiters, self.waiters = self.waiters, []
+        for cb in waiters:
+            cb()
+
+
+@pytest.fixture
+def monitor(rrm_config, modes):
+    return RegionRetentionMonitor(rrm_config, modes)
+
+
+def make_hot(monitor, region=0, block_offset=0):
+    """Register enough dirty writes to promote *region*."""
+    block = region * monitor.config.blocks_per_region + block_offset
+    for _ in range(monitor.config.hot_threshold):
+        monitor.register_llc_write(block, was_dirty=True)
+    return block
+
+
+class TestRegistration:
+    def test_clean_writes_filtered(self, monitor):
+        monitor.register_llc_write(0, was_dirty=False)
+        assert monitor.stats.clean_writes_filtered == 1
+        assert monitor.stats.registrations == 0
+        assert monitor.tags.occupancy == 0
+
+    def test_dirty_write_allocates_entry(self, monitor):
+        monitor.register_llc_write(0, was_dirty=True)
+        assert monitor.tags.occupancy == 1
+        assert monitor.stats.registrations == 1
+
+    def test_promotion_at_threshold(self, monitor):
+        make_hot(monitor)
+        assert monitor.stats.promotions == 1
+        entry = monitor.tags.lookup(0, touch=False)
+        assert entry.hot
+
+    def test_vector_bit_set_only_while_hot(self, monitor):
+        block = 5
+        # 15 dirty writes: not yet hot, vector empty.
+        for _ in range(monitor.config.hot_threshold - 1):
+            monitor.register_llc_write(block, was_dirty=True)
+        entry = monitor.tags.lookup(0, touch=False)
+        assert entry.short_retention_vector == 0
+        # 16th write promotes; the *same* registration sets the bit.
+        monitor.register_llc_write(block, was_dirty=True)
+        assert entry.vector_bit(5)
+
+    def test_registrations_in_different_regions_are_independent(self, monitor):
+        make_hot(monitor, region=0)
+        monitor.register_llc_write(
+            3 * monitor.config.blocks_per_region, was_dirty=True
+        )
+        entry3 = monitor.tags.lookup(3, touch=False)
+        assert not entry3.hot
+
+
+class TestModeDecision:
+    def test_untracked_block_is_slow(self, monitor):
+        assert monitor.decide_write_mode(123456) == 7
+        assert monitor.stats.slow_decisions == 1
+
+    def test_hot_block_with_bit_is_fast(self, monitor):
+        block = make_hot(monitor, block_offset=4)
+        assert monitor.decide_write_mode(block) == 3
+        assert monitor.stats.fast_decisions == 1
+
+    def test_hot_region_other_block_stays_slow(self, monitor):
+        make_hot(monitor, block_offset=4)
+        # Block 9 of the same region never registered while hot.
+        assert monitor.decide_write_mode(9) == 7
+
+    def test_decision_does_not_touch_lru(self, monitor, rrm_config):
+        """Write-mode lookups must not refresh recency (only
+        registrations do)."""
+        regions = [i * rrm_config.n_sets for i in range(rrm_config.n_ways)]
+        for region in regions:
+            monitor.register_llc_write(
+                region * rrm_config.blocks_per_region, was_dirty=True
+            )
+        monitor.decide_write_mode(regions[0] * rrm_config.blocks_per_region)
+        # Allocating one more evicts the genuinely-oldest region 0.
+        monitor.register_llc_write(
+            regions[-1] * rrm_config.blocks_per_region
+            + rrm_config.n_sets * rrm_config.blocks_per_region,
+            was_dirty=True,
+        )
+        assert monitor.tags.lookup(regions[0], touch=False) is None
+
+    def test_fast_write_fraction_stat(self, monitor):
+        block = make_hot(monitor)
+        monitor.decide_write_mode(block)
+        monitor.decide_write_mode(999999)
+        assert monitor.stats.fast_write_fraction == pytest.approx(0.5)
+
+
+class TestSelectiveFastRefresh:
+    def test_refresh_covers_all_hot_vector_bits(self, rrm_config, modes):
+        controller = StubController()
+        monitor = RegionRetentionMonitor(rrm_config, modes, controller=controller)
+        make_hot(monitor, region=0, block_offset=0)
+        monitor.register_llc_write(3, was_dirty=True)  # second bit, same region
+        monitor.on_refresh_interrupt()
+        fast = [r for r in controller.requests if r.rtype is RequestType.RRM_REFRESH]
+        assert {r.block for r in fast} == {0, 3}
+        assert all(r.n_sets == 3 for r in fast)
+
+    def test_cold_entries_not_refreshed(self, rrm_config, modes):
+        controller = StubController()
+        monitor = RegionRetentionMonitor(rrm_config, modes, controller=controller)
+        monitor.register_llc_write(0, was_dirty=True)  # cold entry
+        monitor.on_refresh_interrupt()
+        assert controller.requests == []
+
+    def test_refresh_backpressure_holds_pending(self, rrm_config, modes):
+        controller = StubController(accept=False)
+        monitor = RegionRetentionMonitor(rrm_config, modes, controller=controller)
+        make_hot(monitor)
+        monitor.on_refresh_interrupt()
+        assert monitor.pending_refresh_count == 1
+        controller.release()
+        assert monitor.pending_refresh_count == 0
+        assert len(controller.requests) == 1
+
+    def test_interrupt_counter(self, monitor):
+        monitor.on_refresh_interrupt()
+        monitor.on_refresh_interrupt()
+        assert monitor.stats.refresh_interrupts == 2
+
+
+class TestDecay:
+    def _tick_full_interval(self, monitor):
+        for _ in range(monitor.config.decay_ticks_per_interval):
+            monitor.on_decay_tick()
+
+    def test_idle_hot_entry_demoted_with_slow_refresh(self, rrm_config, modes):
+        controller = StubController()
+        monitor = RegionRetentionMonitor(rrm_config, modes, controller=controller)
+        block = make_hot(monitor)
+        # First wrap: counter saturated -> stays hot, halves.
+        self._tick_full_interval(monitor)
+        assert monitor.stats.renewals == 1
+        # Second wrap with no further writes -> demote.
+        self._tick_full_interval(monitor)
+        assert monitor.stats.demotions == 1
+        entry = monitor.tags.lookup(0, touch=False)
+        assert not entry.hot
+        slow = [
+            r for r in controller.requests
+            if r.rtype is RequestType.RRM_SLOW_REFRESH
+        ]
+        assert [r.block for r in slow] == [block]
+        assert slow[0].n_sets == 7
+
+    def test_active_entry_stays_hot(self, monitor):
+        block = make_hot(monitor)
+        for _ in range(3):
+            self._tick_full_interval(monitor)
+            # Keep writing: refill the halved counter.
+            for _ in range(monitor.config.hot_threshold):
+                monitor.register_llc_write(block, was_dirty=True)
+        assert monitor.stats.demotions == 0
+        assert monitor.tags.lookup(0, touch=False).hot
+
+    def test_decayed_block_write_mode_reverts_to_slow(self, monitor):
+        block = make_hot(monitor)
+        assert monitor.decide_write_mode(block) == 3
+        self._tick_full_interval(monitor)
+        self._tick_full_interval(monitor)
+        assert monitor.decide_write_mode(block) == 7
+
+
+class TestEviction:
+    def test_evicted_hot_entry_triggers_slow_refresh(self, rrm_config, modes):
+        controller = StubController()
+        monitor = RegionRetentionMonitor(rrm_config, modes, controller=controller)
+        hot_block = make_hot(monitor, region=0)
+        # Fill set 0 beyond capacity with cold regions; region 0 is LRU.
+        for way in range(1, rrm_config.n_ways + 1):
+            region = way * rrm_config.n_sets
+            monitor.register_llc_write(
+                region * rrm_config.blocks_per_region, was_dirty=True
+            )
+        assert monitor.stats.evictions_with_fast_blocks == 1
+        slow = [
+            r for r in controller.requests
+            if r.rtype is RequestType.RRM_SLOW_REFRESH
+        ]
+        assert [r.block for r in slow] == [hot_block]
+
+    def test_eviction_refresh_can_be_disabled(self, modes):
+        config = RRMConfig(n_sets=4, n_ways=4, refresh_on_eviction=False)
+        controller = StubController()
+        monitor = RegionRetentionMonitor(config, modes, controller=controller)
+        make_hot(monitor, region=0)
+        for way in range(1, config.n_ways + 1):
+            monitor.register_llc_write(
+                way * config.n_sets * config.blocks_per_region, was_dirty=True
+            )
+        assert monitor.stats.evictions_with_fast_blocks == 1
+        assert controller.requests == []
+
+
+class TestTimers:
+    def test_paper_intervals(self, rrm_config, modes):
+        monitor = RegionRetentionMonitor(rrm_config, modes)
+        assert monitor.refresh_interval_s == pytest.approx(2.0, rel=0.01)
+        assert monitor.decay_period_s == pytest.approx(
+            monitor.refresh_interval_s / 16
+        )
+
+    def test_start_requires_simulator(self, monitor):
+        with pytest.raises(ConfigError):
+            monitor.start()
+
+    def test_start_arms_periodic_events(self, rrm_config, modes):
+        sim = Simulator()
+        controller = StubController()
+        monitor = RegionRetentionMonitor(
+            rrm_config, modes, sim=sim, controller=controller
+        )
+        monitor.start()
+        make_hot(monitor)
+        sim.run(until=s_to_ns(monitor.refresh_interval_s * 2.5))
+        assert monitor.stats.refresh_interrupts == 2
+        assert monitor.stats.decay_ticks >= 32
+
+    def test_double_start_rejected(self, rrm_config, modes):
+        monitor = RegionRetentionMonitor(rrm_config, modes, sim=Simulator())
+        monitor.start()
+        with pytest.raises(ConfigError):
+            monitor.start()

@@ -1,0 +1,69 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+from repro.errors import ConfigError, SimulationError
+
+
+class TestAllocation:
+    def test_primary_miss(self):
+        mshr = MSHRFile(4)
+        assert mshr.allocate(10) is True
+        assert mshr.outstanding(10)
+
+    def test_secondary_miss_merges(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(10)
+        assert mshr.allocate(10) is False
+        assert mshr.merges == 1
+        assert len(mshr) == 1
+
+    def test_capacity_enforced(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1)
+        mshr.allocate(2)
+        assert mshr.full
+        with pytest.raises(SimulationError):
+            mshr.allocate(3)
+
+    def test_merge_allowed_when_full(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1)
+        mshr.allocate(2)
+        assert mshr.can_accept(1)
+        assert mshr.allocate(1) is False
+
+    def test_can_accept_rejects_new_when_full(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(1)
+        assert not mshr.can_accept(2)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            MSHRFile(0)
+
+
+class TestCompletion:
+    def test_complete_returns_waiters(self):
+        mshr = MSHRFile(4)
+        woken = []
+        mshr.allocate(10, waiter=lambda: woken.append("a"))
+        mshr.allocate(10, waiter=lambda: woken.append("b"))
+        waiters = mshr.complete(10)
+        for w in waiters:
+            w()
+        assert woken == ["a", "b"]
+        assert not mshr.outstanding(10)
+
+    def test_complete_unknown_is_error(self):
+        with pytest.raises(SimulationError):
+            MSHRFile(2).complete(7)
+
+    def test_peak_occupancy(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(1)
+        mshr.allocate(2)
+        mshr.complete(1)
+        mshr.allocate(3)
+        assert mshr.peak_occupancy == 2

@@ -1,0 +1,53 @@
+"""Tests for the multicore assembly."""
+
+import pytest
+
+from repro.cpu.core_model import CoreParams
+from repro.cpu.multicore import Multicore
+from repro.errors import ConfigError
+from repro.workloads.events import EV_READ
+
+
+def make_streams(n, reads=3):
+    return [
+        iter([(EV_READ, 100, core * 1024 + i * 64, False) for i in range(reads)])
+        for core in range(n)
+    ]
+
+
+@pytest.fixture
+def params():
+    return CoreParams(freq_ghz=1.0, base_cpi=1.0, mlp=4, blocking_load_fraction=0.0)
+
+
+class TestAssembly:
+    def test_core_count(self, sim, controller, params):
+        mc = Multicore(sim, controller, make_streams(3), params)
+        assert mc.n_cores == 3
+
+    def test_empty_streams_rejected(self, sim, controller, params):
+        with pytest.raises(ConfigError):
+            Multicore(sim, controller, [], params)
+
+    def test_all_cores_execute(self, sim, controller, params):
+        mc = Multicore(sim, controller, make_streams(2), params)
+        mc.start()
+        sim.run(until=1e7)
+        assert mc.total_instructions() == 2 * 300
+        assert controller.stats.reads_completed == 6
+
+    def test_aggregate_ipc_is_sum(self, sim, controller, params):
+        mc = Multicore(sim, controller, make_streams(2), params)
+        mc.start()
+        sim.run(until=1e6)
+        per_core = mc.per_core_ipc(1e6)
+        assert mc.aggregate_ipc(1e6) == pytest.approx(sum(per_core))
+
+    def test_stall_summary_keys(self, sim, controller, params):
+        mc = Multicore(sim, controller, make_streams(1), params)
+        mc.start()
+        sim.run(until=1e6)
+        summary = mc.stall_summary()
+        assert set(summary) == {
+            "blocking_stalls", "mlp_stalls", "write_queue_stalls", "read_queue_stalls",
+        }

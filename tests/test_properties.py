@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) on core data structures and models.
+
+These check invariants across randomly generated inputs rather than fixed
+examples: address-map bijectivity, drift-model monotonicity, cache/tag
+LRU discipline, vector bookkeeping, queue conservation, and lifetime-model
+scaling laws.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.config import RRMConfig
+from repro.core.entry import RRMEntry
+from repro.core.tag_array import RRMTagArray
+from repro.memctrl.address_map import AddressMap
+from repro.pcm.drift import DriftModel, DriftParameters
+from repro.pcm.endurance import EnduranceModel
+from repro.utils.mathx import geomean
+from repro.utils.units import format_bytes, parse_size
+
+
+# ----------------------------------------------------------------------
+# Address map
+# ----------------------------------------------------------------------
+@st.composite
+def address_maps(draw):
+    channels = draw(st.sampled_from([1, 2, 4]))
+    banks = draw(st.sampled_from([1, 2, 4, 8]))
+    row_bytes = draw(st.sampled_from([256, 512, 1024]))
+    rows_per_bank = draw(st.sampled_from([4, 16, 64]))
+    size = channels * banks * row_bytes * rows_per_bank
+    return AddressMap(
+        n_channels=channels, banks_per_channel=banks,
+        row_bytes=row_bytes, size_bytes=size,
+    )
+
+
+@given(amap=address_maps(), data=st.data())
+def test_address_decode_encode_roundtrip(amap, data):
+    block = data.draw(st.integers(min_value=0, max_value=amap.n_blocks - 1))
+    d = amap.decode_block(block)
+    assert 0 <= d.channel < amap.n_channels
+    assert 0 <= d.bank < amap.banks_per_channel
+    assert 0 <= d.column < amap.blocks_per_row
+    assert amap.encode(d.channel, d.bank, d.row, d.column) == block
+
+
+@given(amap=address_maps(), data=st.data())
+def test_consecutive_blocks_interleave_channels(amap, data):
+    assume(amap.n_channels > 1)
+    block = data.draw(st.integers(min_value=0, max_value=amap.n_blocks - 2))
+    a = amap.decode_block(block)
+    b = amap.decode_block(block + 1)
+    assert b.channel == (a.channel + 1) % amap.n_channels
+
+
+# ----------------------------------------------------------------------
+# Drift model
+# ----------------------------------------------------------------------
+@given(
+    t1=st.floats(min_value=1.0, max_value=1e7),
+    t2=st.floats(min_value=1.0, max_value=1e7),
+)
+def test_drift_monotonic_in_time(t1, t2):
+    model = DriftModel()
+    if t1 <= t2:
+        assert model.resistance_ratio(t1) <= model.resistance_ratio(t2)
+    else:
+        assert model.resistance_ratio(t1) >= model.resistance_ratio(t2)
+
+
+@given(margin=st.floats(min_value=0.01, max_value=0.5))
+def test_retention_margin_inverse(margin):
+    model = DriftModel()
+    retention = model.retention_from_margin(margin)
+    assert abs(model.margin_for_retention(retention) - margin) < 1e-9
+
+
+@given(scale=st.floats(min_value=0.1, max_value=1000.0))
+def test_drift_scale_linear(scale):
+    base = DriftModel()
+    scaled = DriftModel(DriftParameters(drift_scale=scale))
+    for n in (3, 7):
+        relative_error = abs(
+            scaled.retention_seconds(n) * scale - base.retention_seconds(n)
+        ) / base.retention_seconds(n)
+        assert relative_error < 1e-9
+
+
+# ----------------------------------------------------------------------
+# RRM entry vector
+# ----------------------------------------------------------------------
+@given(offsets=st.lists(st.integers(min_value=0, max_value=63), max_size=64))
+def test_vector_bits_round_trip(offsets):
+    entry = RRMEntry(region=0, blocks_per_region=64)
+    for offset in offsets:
+        entry.set_vector_bit(offset)
+    expected = sorted(set(offsets))
+    assert list(entry.short_retention_offsets()) == expected
+    assert entry.short_retention_count == len(expected)
+    for offset in expected:
+        assert entry.vector_bit(offset)
+
+
+@given(
+    threshold=st.integers(min_value=1, max_value=64),
+    writes=st.integers(min_value=0, max_value=200),
+)
+def test_promotion_happens_exactly_at_threshold(threshold, writes):
+    entry = RRMEntry(region=0, blocks_per_region=64)
+    promoted_at = None
+    for i in range(writes):
+        if entry.record_dirty_write(threshold):
+            assert promoted_at is None
+            promoted_at = i + 1
+    if writes >= threshold:
+        assert promoted_at == threshold
+        assert entry.hot
+    else:
+        assert promoted_at is None
+        assert not entry.hot
+    assert entry.dirty_write_counter == min(writes, threshold)
+
+
+# ----------------------------------------------------------------------
+# Tag array LRU
+# ----------------------------------------------------------------------
+@given(
+    regions=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200)
+)
+@settings(max_examples=50)
+def test_tag_array_occupancy_bounded(regions):
+    config = RRMConfig(n_sets=4, n_ways=3)
+    tags = RRMTagArray(config)
+    for region in regions:
+        if tags.lookup(region) is None:
+            tags.allocate(region)
+    assert tags.occupancy <= config.n_sets * config.n_ways
+    for set_index in range(config.n_sets):
+        assert tags.set_occupancy(set_index) <= config.n_ways
+    # Every resident region maps to its home set.
+    for entry in tags.entries():
+        assert config.set_index(entry.region) in range(config.n_sets)
+
+
+@given(
+    regions=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200)
+)
+@settings(max_examples=50)
+def test_most_recent_region_always_resident(regions):
+    config = RRMConfig(n_sets=2, n_ways=2)
+    tags = RRMTagArray(config)
+    for region in regions:
+        if tags.lookup(region) is None:
+            tags.allocate(region)
+    assert tags.lookup(regions[-1], touch=False) is not None
+
+
+# ----------------------------------------------------------------------
+# Cache conservation
+# ----------------------------------------------------------------------
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=127), st.booleans()),
+        min_size=1, max_size=300,
+    )
+)
+@settings(max_examples=50)
+def test_cache_dirty_conservation(accesses):
+    """Every dirty line is either still resident or was written back."""
+    cache = Cache(CacheConfig(size_bytes=64 * 8, n_ways=2))
+    written_back = []
+    dirtied = set()
+    for block, is_write in accesses:
+        result = cache.access(block, is_write)
+        if is_write:
+            dirtied.add(block)
+        if result.writeback_block is not None:
+            written_back.append(result.writeback_block)
+    resident_dirty = set(cache.dirty_blocks())
+    assert resident_dirty | set(written_back) >= dirtied - resident_dirty
+    # A block can never be written back if it was never dirtied.
+    assert set(written_back) <= dirtied
+
+
+@given(
+    accesses=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300)
+)
+@settings(max_examples=50)
+def test_cache_occupancy_bounded(accesses):
+    cache = Cache(CacheConfig(size_bytes=64 * 16, n_ways=4))
+    for block in accesses:
+        cache.access(block, is_write=False)
+    assert cache.occupancy <= 16
+    assert cache.contains(accesses[-1])
+
+
+# ----------------------------------------------------------------------
+# Lifetime model scaling
+# ----------------------------------------------------------------------
+@given(
+    writes=st.floats(min_value=1.0, max_value=1e12),
+    window=st.floats(min_value=0.001, max_value=1e4),
+    blocks=st.integers(min_value=1, max_value=1 << 32),
+)
+def test_lifetime_scaling_laws(writes, window, blocks):
+    model = EnduranceModel()
+    base = model.lifetime_seconds(writes, window, blocks)
+    assert base > 0
+    # Double the rate -> half the lifetime.
+    halved = model.lifetime_seconds(2 * writes, window, blocks)
+    assert halved * 2 == base or abs(halved * 2 - base) < 1e-6 * base
+    # Double the capacity -> double the lifetime.
+    doubled = model.lifetime_seconds(writes, window, 2 * blocks)
+    assert abs(doubled - 2 * base) < 1e-6 * base
+
+
+# ----------------------------------------------------------------------
+# Utilities
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=1 << 45))
+def test_format_bytes_never_crashes(n):
+    assert isinstance(format_bytes(n), str)
+
+
+@given(st.sampled_from(["KB", "MB", "GB"]), st.integers(min_value=1, max_value=999))
+def test_parse_format_roundtrip(suffix, value):
+    text = f"{value}{suffix}"
+    assert format_bytes(parse_size(text)) == text
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=20))
+def test_geomean_bounded_by_min_max(values):
+    g = geomean(values)
+    assert min(values) * 0.999999 <= g <= max(values) * 1.000001

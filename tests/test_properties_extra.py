@@ -1,0 +1,127 @@
+"""Additional property-based tests for the newer substrates.
+
+Covers the Start-Gap remapper (bijectivity under arbitrary move
+sequences, wear conservation) and the Region Retention Monitor's
+state-machine invariants under random registration streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RRMConfig
+from repro.core.monitor import RegionRetentionMonitor
+from repro.pcm.wear_leveling import LeveledWearSimulator, StartGapLeveler
+from repro.pcm.write_modes import WriteModeTable
+
+MODES = WriteModeTable()
+
+
+# ----------------------------------------------------------------------
+# Start-Gap
+# ----------------------------------------------------------------------
+@given(
+    n_lines=st.integers(min_value=1, max_value=32),
+    moves=st.integers(min_value=0, max_value=200),
+)
+def test_startgap_bijective_after_any_moves(n_lines, moves):
+    leveler = StartGapLeveler(n_lines=n_lines, gap_write_interval=1)
+    for _ in range(moves):
+        leveler.record_write()
+    slots = [leveler.physical(logical) for logical in range(n_lines)]
+    assert len(set(slots)) == n_lines
+    assert leveler.gap not in slots
+    assert all(0 <= slot <= n_lines for slot in slots)
+    # Inverse mapping agrees.
+    for logical in range(n_lines):
+        assert leveler.logical(leveler.physical(logical)) == logical
+
+
+@given(
+    n_lines=st.integers(min_value=2, max_value=16),
+    writes=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=300),
+    interval=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=50)
+def test_startgap_wear_conservation(n_lines, writes, interval):
+    """Total physical wear = demand writes + gap-move copies."""
+    writes = [w % n_lines for w in writes]
+    simulator = LeveledWearSimulator(
+        StartGapLeveler(n_lines=n_lines, gap_write_interval=interval)
+    )
+    for line in writes:
+        simulator.write(line)
+    expected = len(writes) + simulator.leveler.gap_moves
+    assert simulator.total_writes() == expected
+
+
+@given(n_lines=st.integers(min_value=1, max_value=16))
+def test_startgap_full_rotation_returns_to_shifted_identity(n_lines):
+    """After exactly one full rotation, every line has moved by one slot
+    (the start pointer advanced once)."""
+    leveler = StartGapLeveler(n_lines=n_lines, gap_write_interval=1)
+    initial = [leveler.physical(l) for l in range(n_lines)]
+    for _ in range(n_lines + 1):
+        leveler.record_write()
+    assert leveler.rotations == 1
+    after = [leveler.physical(l) for l in range(n_lines)]
+    assert after != initial or n_lines == 1
+    assert len(set(after)) == n_lines
+
+
+# ----------------------------------------------------------------------
+# Monitor state machine
+# ----------------------------------------------------------------------
+@given(
+    stream=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),  # block
+            st.booleans(),                            # dirty
+            st.booleans(),                            # decay tick after?
+        ),
+        min_size=1,
+        max_size=400,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_monitor_invariants_under_random_streams(stream):
+    config = RRMConfig(n_sets=2, n_ways=2, hot_threshold=4)
+    monitor = RegionRetentionMonitor(config, MODES)
+    for block, dirty, tick in stream:
+        monitor.register_llc_write(block, was_dirty=dirty)
+        if tick:
+            monitor.on_decay_tick()
+        # Invariants after every step:
+        for entry in monitor.tags.entries():
+            # Counter saturates at the threshold.
+            assert 0 <= entry.dirty_write_counter <= config.hot_threshold
+            # Cold entries never carry short-retention bits... unless they
+            # were hot and demoted (which clears them) — so any bits imply
+            # the entry is (or was just) hot. After demotion the vector is
+            # cleared, so: bits set => hot.
+            if entry.short_retention_vector:
+                assert entry.hot
+            # Decay counter stays inside its field width.
+            assert 0 <= entry.decay_counter < config.decay_ticks_per_interval
+
+    # The structure never exceeds its geometry.
+    assert monitor.tags.occupancy <= config.n_entries
+
+
+@given(
+    blocks=st.lists(st.integers(min_value=0, max_value=63), min_size=4, max_size=64)
+)
+@settings(max_examples=50)
+def test_monitor_mode_decision_consistent_with_vector(blocks):
+    """decide_write_mode returns fast exactly for blocks whose bit is set."""
+    config = RRMConfig(n_sets=2, n_ways=2, hot_threshold=2)
+    monitor = RegionRetentionMonitor(config, MODES)
+    for block in blocks:
+        monitor.register_llc_write(block, was_dirty=True)
+    for block in set(blocks):
+        region = config.region_of_block(block)
+        entry = monitor.tags.lookup(region, touch=False)
+        mode = monitor.decide_write_mode(block)
+        if entry is not None and entry.vector_bit(config.block_offset(block)):
+            assert mode == config.fast_n_sets
+        else:
+            assert mode == config.slow_n_sets

@@ -1,0 +1,95 @@
+"""Tests for bounded controller queues."""
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.memctrl.queues import BoundedQueue, QueueSet
+from repro.memctrl.request import MemRequest, RequestType
+
+
+def req(block=0, rtype=RequestType.READ):
+    return MemRequest(rtype=rtype, block=block)
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue(4)
+        a, b = req(1), req(2)
+        q.push(a)
+        q.push(b)
+        assert q.pop() is a
+        assert q.pop() is b
+
+    def test_capacity_enforced(self):
+        q = BoundedQueue(2)
+        q.push(req())
+        q.push(req())
+        assert q.full
+        with pytest.raises(QueueFullError):
+            q.push(req())
+        assert q.rejected == 1
+
+    def test_peek_does_not_remove(self):
+        q = BoundedQueue(2)
+        a = req()
+        q.push(a)
+        assert q.peek() is a
+        assert len(q) == 1
+
+    def test_peek_empty(self):
+        assert BoundedQueue(1).peek() is None
+
+    def test_stats(self):
+        q = BoundedQueue(4)
+        for i in range(3):
+            q.push(req(i))
+        q.pop()
+        assert q.total_enqueued == 3
+        assert q.peak_occupancy == 3
+
+    def test_pop_first_ready_skips_unready(self):
+        q = BoundedQueue(4)
+        a, b = req(1), req(2)
+        q.push(a)
+        q.push(b)
+        got = q.pop_first_ready(lambda r: r.block == 2)
+        assert got is b
+        assert list(q) == [a]
+
+    def test_pop_first_ready_window_limits_search(self):
+        q = BoundedQueue(8)
+        for i in range(5):
+            q.push(req(i))
+        got = q.pop_first_ready(lambda r: r.block == 4, window=2)
+        assert got is None
+        assert len(q) == 5
+
+    def test_pop_first_ready_none_when_empty(self):
+        assert BoundedQueue(2).pop_first_ready(lambda r: True) is None
+
+
+class TestQueueSet:
+    def test_request_type_routing(self):
+        qs = QueueSet()
+        assert qs.queue_for(RequestType.READ) is qs.read_queue
+        assert qs.queue_for(RequestType.WRITE) is qs.write_queue
+        assert qs.queue_for(RequestType.RRM_REFRESH) is qs.refresh_queue
+        assert qs.queue_for(RequestType.RRM_SLOW_REFRESH) is qs.refresh_queue
+
+    def test_priority_order(self):
+        qs = QueueSet()
+        assert qs.in_priority_order() == [
+            qs.refresh_queue, qs.read_queue, qs.write_queue
+        ]
+
+    def test_paper_capacities(self):
+        qs = QueueSet()
+        assert qs.refresh_queue.capacity == 64
+        assert qs.read_queue.capacity == 32
+        assert qs.write_queue.capacity == 64
+
+    def test_total_pending(self):
+        qs = QueueSet()
+        qs.read_queue.push(req())
+        qs.write_queue.push(req(rtype=RequestType.WRITE))
+        assert qs.total_pending == 2

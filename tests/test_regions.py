@@ -1,0 +1,114 @@
+"""Tests for the region write-interval analysis (paper Table III)."""
+
+import pytest
+
+from repro.analysis.regions import PAPER_BINS, RegionIntervalAnalyzer
+from repro.errors import ConfigError
+from repro.utils.units import NS_PER_S
+
+
+class TestRecording:
+    def test_regions_grouped_by_4kb(self):
+        analyzer = RegionIntervalAnalyzer()
+        analyzer.record(0.0, 0)
+        analyzer.record(10.0, 63)   # same region
+        analyzer.record(20.0, 64)   # next region
+        assert analyzer.regions_written == 2
+        assert analyzer.total_writes == 3
+
+    def test_average_interval(self):
+        analyzer = RegionIntervalAnalyzer()
+        analyzer.record(0.0, 0)
+        analyzer.record(100.0, 1)
+        analyzer.record(200.0, 2)
+        assert analyzer.average_interval_ns(0) == pytest.approx(100.0)
+
+    def test_single_write_is_infinite_interval(self):
+        analyzer = RegionIntervalAnalyzer()
+        analyzer.record(0.0, 0)
+        assert analyzer.average_interval_ns(0) == float("inf")
+
+    def test_unseen_region_is_none(self):
+        assert RegionIntervalAnalyzer().average_interval_ns(7) is None
+
+    def test_drift_scale_rescales_intervals(self):
+        analyzer = RegionIntervalAnalyzer(drift_scale=50.0)
+        analyzer.record(0.0, 0)
+        analyzer.record(100.0, 0)
+        assert analyzer.average_interval_ns(0) == pytest.approx(5000.0)
+
+
+class TestHistogram:
+    def _populate(self, analyzer):
+        # Region 0: interval 1e6 ns (2nd paper bin), 11 writes.
+        for i in range(11):
+            analyzer.record(i * 1e6, 0)
+        # Region 1: written once.
+        analyzer.record(0.0, 64)
+        # Region 2: interval 0.5e6 ns (1st bin), 3 writes.
+        for i in range(3):
+            analyzer.record(i * 0.5e6, 128)
+
+    def test_paper_bins_layout(self):
+        labels = [b.label for b in PAPER_BINS]
+        assert labels[0] == "< 10^6 ns"
+        assert PAPER_BINS[-1].high_ns == 2 * NS_PER_S
+
+    def test_rows_and_percentages(self):
+        analyzer = RegionIntervalAnalyzer(total_regions=100)
+        self._populate(analyzer)
+        rows = {row.label: row for row in analyzer.histogram()}
+        assert rows["< 10^6 ns"].regions == 1
+        assert rows["< 10^6 ns"].writes == 3
+        assert rows["10^6 ns to 10^7 ns"].regions == 1
+        assert rows["10^6 ns to 10^7 ns"].writes == 11
+        assert rows["written once"].regions == 1
+        assert rows["never written"].regions == 97
+        assert rows["never written"].region_pct == pytest.approx(97.0)
+
+    def test_write_percentages_sum_to_100(self):
+        analyzer = RegionIntervalAnalyzer(total_regions=100)
+        self._populate(analyzer)
+        total = sum(row.write_pct for row in analyzer.histogram())
+        assert total == pytest.approx(100.0)
+
+    def test_boundary_interval_lands_in_upper_bin(self):
+        analyzer = RegionIntervalAnalyzer()
+        analyzer.record(0.0, 0)
+        analyzer.record(1e6, 0)  # exactly 10^6 -> second bin (inclusive low)
+        rows = {row.label: row for row in analyzer.histogram()}
+        assert rows["10^6 ns to 10^7 ns"].regions == 1
+
+    def test_interval_beyond_bins_goes_to_overflow(self):
+        analyzer = RegionIntervalAnalyzer()
+        analyzer.record(0.0, 0)
+        analyzer.record(3 * NS_PER_S, 0)
+        rows = analyzer.histogram()
+        overflow = [r for r in rows if r.label.startswith(">=")][0]
+        assert overflow.regions == 1
+
+
+class TestHotShare:
+    def test_hot_share_cutoff(self):
+        analyzer = RegionIntervalAnalyzer()
+        # Hot region: 100 writes at 1ms interval.
+        for i in range(100):
+            analyzer.record(i * 1e6, 0)
+        # Cold region: 2 writes 10 seconds apart.
+        analyzer.record(0.0, 64)
+        analyzer.record(10 * NS_PER_S, 64)
+        share = analyzer.hot_write_share(interval_cutoff_ns=1e8)
+        assert share == pytest.approx(100 / 102)
+
+    def test_no_writes(self):
+        assert RegionIntervalAnalyzer().hot_write_share() == 0.0
+
+
+class TestValidation:
+    def test_bad_region_bytes(self):
+        with pytest.raises(ConfigError):
+            RegionIntervalAnalyzer(region_bytes=100)
+
+    def test_bad_drift_scale(self):
+        with pytest.raises(ConfigError):
+            RegionIntervalAnalyzer(drift_scale=0.0)

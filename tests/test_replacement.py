@@ -1,0 +1,89 @@
+"""Tests for cache replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.errors import ConfigError
+
+
+class TestLRU:
+    def test_untouched_way_is_victim(self):
+        policy = LRUPolicy(4)
+        for way in (1, 2, 3):
+            policy.touch(way)
+        assert policy.victim([True] * 4) == 0
+
+    def test_oldest_touch_is_victim(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3, 1, 0):
+            policy.touch(way)
+        assert policy.victim([True] * 4) == 2
+
+    def test_reset_makes_way_oldest(self):
+        policy = LRUPolicy(2)
+        policy.touch(0)
+        policy.touch(1)
+        policy.reset(1)
+        assert policy.victim([True, True]) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(8, seed=42)
+        b = RandomPolicy(8, seed=42)
+        assert [a.victim([True] * 8) for _ in range(20)] == [
+            b.victim([True] * 8) for _ in range(20)
+        ]
+
+    def test_victims_in_range(self):
+        policy = RandomPolicy(4, seed=1)
+        assert all(0 <= policy.victim([True] * 4) < 4 for _ in range(50))
+
+
+class TestTreePLRU:
+    def test_victim_avoids_recent_touch(self):
+        policy = TreePLRUPolicy(4)
+        policy.touch(0)
+        assert policy.victim([True] * 4) != 0
+
+    def test_round_robin_like_coverage(self):
+        """Touching the victim each time must cycle through all ways."""
+        policy = TreePLRUPolicy(8)
+        seen = set()
+        for _ in range(16):
+            victim = policy.victim([True] * 8)
+            seen.add(victim)
+            policy.touch(victim)
+        assert seen == set(range(8))
+
+    def test_non_power_of_two_ways(self):
+        policy = TreePLRUPolicy(6)
+        for _ in range(12):
+            victim = policy.victim([True] * 6)
+            assert 0 <= victim < 6
+            policy.touch(victim)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRUPolicy), ("random", RandomPolicy), ("plru", TreePLRUPolicy)],
+    )
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 4), LRUPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("fifo", 4)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigError):
+            LRUPolicy(0)

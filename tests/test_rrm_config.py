@@ -1,0 +1,126 @@
+"""Tests for RRM configuration and the hardware-overhead model."""
+
+import pytest
+
+from repro.core.config import RRMConfig
+from repro.errors import ConfigError
+from repro.utils.units import parse_size
+
+
+class TestDefaults:
+    def test_paper_geometry(self):
+        cfg = RRMConfig()
+        assert cfg.n_sets == 256
+        assert cfg.n_ways == 24
+        assert cfg.region_bytes == 4096
+        assert cfg.hot_threshold == 16
+        assert cfg.n_entries == 6144
+
+    def test_paper_coverage_is_24mb(self):
+        assert RRMConfig().coverage_bytes == parse_size("24MB")
+
+    def test_paper_storage_is_96kb(self):
+        """Table IV: 96KB of storage, 1.56% of the 6MB LLC."""
+        cfg = RRMConfig()
+        assert cfg.storage_bytes == parse_size("96KB")
+        pct = 100 * cfg.storage_bytes / parse_size("6MB")
+        assert pct == pytest.approx(1.56, abs=0.01)
+
+    def test_entry_format_bits(self):
+        """Section IV-C: 1 valid + 52 addr + 1 hot + 6 counter + 64 vector
+        + 4 decay = 128 bits."""
+        cfg = RRMConfig()
+        assert cfg.tag_bits == 52
+        assert cfg.counter_bits == 6
+        assert cfg.decay_counter_bits == 4
+        assert cfg.blocks_per_region == 64
+        assert cfg.entry_bits == 128
+
+
+class TestGeometryHelpers:
+    def test_region_of_block(self):
+        cfg = RRMConfig()
+        assert cfg.region_of_block(0) == 0
+        assert cfg.region_of_block(63) == 0
+        assert cfg.region_of_block(64) == 1
+
+    def test_block_offset(self):
+        cfg = RRMConfig()
+        assert cfg.block_offset(64 * 5 + 17) == 17
+
+    def test_set_index_wraps(self):
+        cfg = RRMConfig(n_sets=4, n_ways=2)
+        assert cfg.set_index(0) == 0
+        assert cfg.set_index(5) == 1
+        assert cfg.set_index(4 * 7) == 0
+
+
+class TestCoverageVariants:
+    """Paper Table VIII."""
+
+    @pytest.mark.parametrize(
+        "rate,sets,storage",
+        [(2, 128, "48KB"), (4, 256, "96KB"), (8, 512, "192KB"), (16, 1024, "384KB")],
+    )
+    def test_table8_rows(self, rate, sets, storage):
+        cfg = RRMConfig().with_coverage_rate(parse_size("6MB"), rate)
+        assert cfg.n_sets == sets
+        assert cfg.storage_bytes == parse_size(storage)
+
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(ConfigError):
+            RRMConfig().with_coverage_rate(parse_size("6MB"), 3)
+
+
+class TestRegionSizeVariants:
+    """Paper Section VI-F: vary entry coverage size at constant coverage."""
+
+    @pytest.mark.parametrize("region,sets", [(2048, 512), (4096, 256), (8192, 128), (16384, 64)])
+    def test_constant_total_coverage(self, region, sets):
+        cfg = RRMConfig().with_region_bytes(region)
+        assert cfg.n_sets == sets
+        assert cfg.coverage_bytes == RRMConfig().coverage_bytes
+
+    def test_vector_width_follows_region(self):
+        assert RRMConfig().with_region_bytes(2048).blocks_per_region == 32
+        assert RRMConfig().with_region_bytes(16384).blocks_per_region == 256
+
+    def test_same_region_returns_self(self):
+        cfg = RRMConfig()
+        assert cfg.with_region_bytes(4096) is cfg
+
+
+class TestThresholdVariants:
+    @pytest.mark.parametrize("threshold", [8, 16, 32, 64])
+    def test_paper_sweep_values(self, threshold):
+        cfg = RRMConfig().with_hot_threshold(threshold)
+        assert cfg.hot_threshold == threshold
+        # 6-bit counter covers every paper threshold value.
+        assert cfg.counter_bits == 6 or threshold > 63
+
+    def test_counter_widens_for_large_threshold(self):
+        assert RRMConfig(hot_threshold=100).counter_bits == 7
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_sets": 3},
+            {"n_ways": 0},
+            {"region_bytes": 100},
+            {"region_bytes": 3000},
+            {"hot_threshold": 0},
+            {"decay_ticks_per_interval": 0},
+            {"fast_n_sets": 7, "slow_n_sets": 3},
+            {"refresh_slack_fraction": 0.0},
+            {"refresh_slack_fraction": 1.0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            RRMConfig(**kwargs)
+
+    def test_storage_summary_mentions_percentage(self):
+        text = RRMConfig().storage_summary(parse_size("6MB"))
+        assert "96KB" in text and "1.56%" in text

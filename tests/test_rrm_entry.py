@@ -1,0 +1,126 @@
+"""Tests for the RRM entry state machine."""
+
+import pytest
+
+from repro.core.entry import RRMEntry
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def entry():
+    return RRMEntry(region=7, blocks_per_region=64)
+
+
+class TestVector:
+    def test_starts_empty(self, entry):
+        assert entry.short_retention_vector == 0
+        assert entry.short_retention_count == 0
+
+    def test_set_and_query_bits(self, entry):
+        entry.set_vector_bit(0)
+        entry.set_vector_bit(63)
+        assert entry.vector_bit(0) and entry.vector_bit(63)
+        assert not entry.vector_bit(32)
+        assert entry.short_retention_count == 2
+
+    def test_set_is_idempotent(self, entry):
+        entry.set_vector_bit(5)
+        entry.set_vector_bit(5)
+        assert entry.short_retention_count == 1
+
+    def test_offsets_iterate_ascending(self, entry):
+        for offset in (40, 3, 17):
+            entry.set_vector_bit(offset)
+        assert list(entry.short_retention_offsets()) == [3, 17, 40]
+
+    def test_clear_vector(self, entry):
+        entry.set_vector_bit(9)
+        entry.clear_vector()
+        assert entry.short_retention_count == 0
+
+    def test_out_of_range_offset_rejected(self, entry):
+        with pytest.raises(SimulationError):
+            entry.set_vector_bit(64)
+        with pytest.raises(SimulationError):
+            entry.vector_bit(-1)
+
+
+class TestHotPromotion:
+    def test_promotes_exactly_at_threshold(self, entry):
+        for i in range(15):
+            assert entry.record_dirty_write(16) is False
+        assert not entry.hot
+        assert entry.record_dirty_write(16) is True
+        assert entry.hot
+        assert entry.dirty_write_counter == 16
+
+    def test_counter_saturates_at_threshold(self, entry):
+        for _ in range(40):
+            entry.record_dirty_write(16)
+        assert entry.dirty_write_counter == 16
+
+    def test_no_double_promotion(self, entry):
+        for _ in range(16):
+            entry.record_dirty_write(16)
+        assert entry.record_dirty_write(16) is False
+
+
+class TestDecayCounter:
+    def test_wraps_after_full_cycle(self, entry):
+        wraps = [entry.tick_decay(16) for _ in range(16)]
+        assert wraps == [False] * 15 + [True]
+        assert entry.decay_counter == 0
+
+    def test_shorter_cycle(self, entry):
+        assert entry.tick_decay(2) is False
+        assert entry.tick_decay(2) is True
+
+
+class TestHotnessReevaluation:
+    def test_saturated_counter_stays_hot_and_halves(self, entry):
+        for _ in range(16):
+            entry.record_dirty_write(16)
+        assert entry.reevaluate_hotness(16) is True
+        assert entry.dirty_write_counter == 8
+        assert entry.hot
+
+    def test_unsaturated_counter_demotes(self, entry):
+        for _ in range(16):
+            entry.record_dirty_write(16)
+        entry.reevaluate_hotness(16)  # halve to 8
+        assert entry.reevaluate_hotness(16) is False
+
+    def test_reevaluate_cold_entry_is_error(self, entry):
+        with pytest.raises(SimulationError):
+            entry.reevaluate_hotness(16)
+
+    def test_renewal_cycle_with_continued_traffic(self, entry):
+        """A region that keeps writing stays hot across decay intervals."""
+        for _ in range(16):
+            entry.record_dirty_write(16)
+        for _ in range(5):
+            assert entry.reevaluate_hotness(16) is True
+            for _ in range(8):  # enough traffic to refill from 8 to 16
+                entry.record_dirty_write(16)
+
+
+class TestDemotion:
+    def test_demote_returns_vector_and_clears(self, entry):
+        for _ in range(16):
+            entry.record_dirty_write(16)
+        entry.set_vector_bit(4)
+        entry.set_vector_bit(9)
+        vector = entry.demote()
+        assert vector == (1 << 4) | (1 << 9)
+        assert not entry.hot
+        assert entry.short_retention_vector == 0
+
+    def test_demote_keeps_counter_value(self, entry):
+        """Paper Section IV-G resets hot and the vector but not the
+        dirty_write_counter."""
+        for _ in range(16):
+            entry.record_dirty_write(16)
+        entry.reevaluate_hotness(16)
+        counter = entry.dirty_write_counter
+        entry.demote()
+        assert entry.dirty_write_counter == counter

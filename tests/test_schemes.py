@@ -1,0 +1,53 @@
+"""Tests for scheme definitions (paper Table VI)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.schemes import Scheme, all_schemes, scheme_from_name, static_schemes
+
+
+class TestSchemeProperties:
+    def test_six_schemes(self):
+        assert len(all_schemes()) == 6
+
+    def test_static_order_slow_to_fast(self):
+        statics = static_schemes()
+        assert [s.static_n_sets for s in statics] == [7, 6, 5, 4, 3]
+
+    def test_rrm_last(self):
+        assert all_schemes()[-1] is Scheme.RRM
+
+    def test_rrm_has_no_static_mode(self):
+        with pytest.raises(ConfigError):
+            Scheme.RRM.static_n_sets
+
+    def test_global_refresh_modes(self):
+        """Table VI: statics refresh with their own mode; RRM refreshes
+        globally with 7-SETs."""
+        assert Scheme.STATIC_3.global_refresh_n_sets == 3
+        assert Scheme.STATIC_7.global_refresh_n_sets == 7
+        assert Scheme.RRM.global_refresh_n_sets == 7
+
+    def test_str_is_paper_name(self):
+        assert str(Scheme.STATIC_5) == "Static-5-SETs"
+        assert str(Scheme.RRM) == "RRM"
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("rrm", Scheme.RRM),
+            ("RRM", Scheme.RRM),
+            ("Static-3-SETs", Scheme.STATIC_3),
+            ("static-7", Scheme.STATIC_7),
+            ("static4", Scheme.STATIC_4),
+            ("s5", Scheme.STATIC_5),
+        ],
+    )
+    def test_accepted_spellings(self, text, expected):
+        assert scheme_from_name(text) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            scheme_from_name("static-8")

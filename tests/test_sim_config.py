@@ -1,0 +1,88 @@
+"""Tests for system configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import MemoryConfig, SystemConfig
+from repro.utils.units import parse_size
+
+
+class TestMemoryConfig:
+    def test_paper_defaults(self):
+        cfg = MemoryConfig()
+        assert cfg.size_bytes == parse_size("8GB")
+        assert cfg.n_channels == 4
+        assert cfg.banks_per_channel == 16
+        assert cfg.read_queue_capacity == 32
+        assert cfg.write_queue_capacity == 64
+        assert cfg.refresh_queue_capacity == 64
+        assert cfg.endurance_writes == 5_000_000
+        assert cfg.wear_leveling_efficiency == 0.95
+
+    def test_block_count(self):
+        assert MemoryConfig().n_blocks == (8 << 30) // 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 0},
+            {"size_bytes": 100},
+            {"n_channels": 3},
+            {"banks_per_channel": 5},
+            {"read_queue_capacity": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            MemoryConfig(**kwargs)
+
+
+class TestSystemConfig:
+    def test_paper_configuration(self):
+        cfg = SystemConfig.paper()
+        assert cfg.n_cores == 4
+        assert cfg.cores.freq_ghz == 2.0
+        assert cfg.drift_scale == 1.0
+        assert cfg.duration_s == 5.0
+        assert cfg.rrm.n_sets == 256
+        assert cfg.llc_bytes == parse_size("6MB")
+
+    def test_scaled_keeps_refresh_windows(self):
+        """Scaled duration x drift_scale must equal the paper's 5 seconds
+        so each run sees the same number of refresh intervals."""
+        cfg = SystemConfig.scaled()
+        assert cfg.virtual_duration_s == pytest.approx(5.0)
+
+    def test_scaled_rrm_coverage_ratio_preserved(self):
+        cfg = SystemConfig.scaled()
+        assert cfg.rrm.coverage_bytes == 4 * cfg.llc_bytes
+
+    def test_paper_rrm_coverage_ratio(self):
+        cfg = SystemConfig.paper()
+        assert cfg.rrm.coverage_bytes == 4 * cfg.llc_bytes
+
+    def test_tiny_is_small(self):
+        cfg = SystemConfig.tiny()
+        assert cfg.memory.size_bytes < SystemConfig.scaled().memory.size_bytes
+        assert cfg.duration_s < SystemConfig.scaled().duration_s
+
+    def test_variants(self):
+        cfg = SystemConfig.scaled()
+        assert cfg.with_seed(9).seed == 9
+        assert cfg.with_duration(0.5).duration_s == 0.5
+        rrm = cfg.rrm.with_hot_threshold(8)
+        assert cfg.with_rrm(rrm).rrm.hot_threshold == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_cores": 0},
+            {"drift_scale": 0.0},
+            {"duration_s": 0.0},
+            {"footprint_scale": 0.0},
+            {"llc_bytes": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            SystemConfig(**kwargs)

@@ -1,0 +1,107 @@
+"""Tests for the SPEC2006 benchmark profiles."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.spec2006 import (
+    BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+
+#: Paper Table VII MPKIs.
+PAPER_MPKI = {
+    "bwaves": 11.69,
+    "GemsFDTD": 26.56,
+    "hmmer": 2.84,
+    "lbm": 55.15,
+    "leslie3d": 10.46,
+    "libquantum": 52.07,
+    "mcf": 73.42,
+    "milc": 34.40,
+    "zeusmp": 7.64,
+}
+
+
+class TestCatalogue:
+    def test_all_nine_benchmarks_present(self):
+        assert set(BENCHMARKS) == set(PAPER_MPKI)
+
+    @pytest.mark.parametrize("name,mpki", sorted(PAPER_MPKI.items()))
+    def test_paper_mpki_values(self, name, mpki):
+        profile = get_benchmark(name)
+        assert profile.paper_mpki == mpki
+        assert profile.traffic.mpki == mpki
+
+    def test_bwave_alias(self):
+        assert get_benchmark("bwave").name == "bwaves"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            get_benchmark("gcc")
+
+    def test_names_sorted_case_insensitively(self):
+        names = benchmark_names()
+        assert names == sorted(names, key=str.lower)
+
+
+class TestQualitativeShapes:
+    def test_libquantum_is_streaming_heavy(self):
+        lib = get_benchmark("libquantum").traffic
+        others = [get_benchmark(n).traffic for n in PAPER_MPKI if n != "libquantum"]
+        assert all(lib.streaming_fraction >= o.streaming_fraction for o in others)
+
+    def test_hmmer_has_smallest_footprint(self):
+        hmmer = get_benchmark("hmmer").traffic
+        others = [get_benchmark(n).traffic for n in PAPER_MPKI if n != "hmmer"]
+        assert all(hmmer.footprint_regions <= o.footprint_regions for o in others)
+
+    def test_mcf_is_read_dominated(self):
+        mcf = get_benchmark("mcf").traffic
+        assert mcf.writeback_per_miss <= min(
+            get_benchmark(n).traffic.writeback_per_miss for n in PAPER_MPKI
+        )
+
+    def test_gems_hot_share_matches_table3(self):
+        """Table III: ~77% of GemsFDTD writes land in the shortest-interval
+        tier and ~93% under the 10^8 ns cutoff; our hot tier plus part of
+        the warm tier covers that range."""
+        gems = get_benchmark("GemsFDTD").traffic
+        assert 0.74 <= gems.hot_write_share <= 0.82
+        assert gems.hot_write_share + gems.warm_write_share >= 0.90
+
+    def test_lbm_write_heavy(self):
+        assert get_benchmark("lbm").traffic.writeback_per_miss >= max(
+            get_benchmark(n).traffic.writeback_per_miss
+            for n in PAPER_MPKI if n != "lbm"
+        )
+
+
+class TestFootprintScaling:
+    def test_scale_preserves_tier_proportions(self):
+        gems = get_benchmark("GemsFDTD")
+        scaled = gems.scaled_footprint(0.25)
+        ratio = scaled.traffic.footprint_regions / gems.traffic.footprint_regions
+        assert ratio == pytest.approx(0.25, rel=0.05)
+        hot_ratio = scaled.traffic.hot_regions / gems.traffic.hot_regions
+        assert hot_ratio == pytest.approx(0.25, rel=0.1)
+
+    def test_scale_has_floor(self):
+        tiny = get_benchmark("hmmer").scaled_footprint(0.0001)
+        assert tiny.traffic.hot_regions >= 4
+        assert tiny.traffic.footprint_regions >= 64
+
+    def test_scale_one_is_identity_shape(self):
+        gems = get_benchmark("GemsFDTD")
+        assert gems.scaled_footprint(1.0).traffic.footprint_regions == (
+            gems.traffic.footprint_regions
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            get_benchmark("milc").scaled_footprint(0.0)
+
+    def test_scaled_profile_still_valid(self):
+        # The RegionProfile invariants must hold after extreme scaling.
+        for name in PAPER_MPKI:
+            get_benchmark(name).scaled_footprint(1 / 64)

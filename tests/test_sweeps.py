@@ -1,0 +1,72 @@
+"""Tests for the parameter-sweep API."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import SystemConfig
+from repro.sim.sweeps import (
+    SweepPoint,
+    coverage_sweep,
+    entry_size_sweep,
+    hot_threshold_sweep,
+    sweep_table,
+)
+
+
+@pytest.fixture(scope="module")
+def threshold_points():
+    return hot_threshold_sweep(
+        SystemConfig.tiny(), ["hmmer"], thresholds=(8, 32)
+    )
+
+
+class TestThresholdSweep:
+    def test_one_point_per_threshold(self, threshold_points):
+        assert [p.label for p in threshold_points] == [
+            "hot_threshold=8", "hot_threshold=32",
+        ]
+
+    def test_configs_carry_threshold(self, threshold_points):
+        assert threshold_points[0].config.rrm.hot_threshold == 8
+        assert threshold_points[1].config.rrm.hot_threshold == 32
+
+    def test_metrics_populated(self, threshold_points):
+        for point in threshold_points:
+            assert point.speedup > 0
+            assert point.lifetime_years > 0
+            assert 0 <= point.fast_write_fraction <= 1
+
+    def test_shared_baseline(self, threshold_points):
+        a, b = threshold_points
+        assert a.baselines["hmmer"] is b.baselines["hmmer"]
+
+    def test_table_rows(self, threshold_points):
+        rows = sweep_table(threshold_points)
+        assert len(rows) == 2
+        assert rows[0][0] == "hot_threshold=8"
+
+
+class TestOtherSweeps:
+    def test_coverage_sweep_varies_sets(self):
+        base = SystemConfig.tiny()
+        points = coverage_sweep(base, ["hmmer"], rates=(2, 4))
+        sets = [p.config.rrm.n_sets for p in points]
+        assert sets[1] == 2 * sets[0]
+
+    def test_entry_size_sweep_preserves_coverage(self):
+        base = SystemConfig.tiny()
+        points = entry_size_sweep(base, ["hmmer"], region_sizes=(2048, 4096))
+        coverages = {p.config.rrm.coverage_bytes for p in points}
+        assert len(coverages) == 1
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigError):
+            hot_threshold_sweep(SystemConfig.tiny(), [], thresholds=(8,))
+
+    def test_progress_callback(self):
+        calls = []
+        hot_threshold_sweep(
+            SystemConfig.tiny(), ["hmmer"], thresholds=(8,),
+            progress=lambda label, workload: calls.append((label, workload)),
+        )
+        assert calls == [("hot_threshold=8", "hmmer")]

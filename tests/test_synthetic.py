@@ -1,0 +1,252 @@
+"""Tests for the region-tier synthetic traffic generator."""
+
+import itertools
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.events import EV_READ, EV_REGISTER, EV_WRITE
+from repro.workloads.synthetic import (
+    BLOCKS_PER_REGION,
+    RegionProfile,
+    RegionTrafficGenerator,
+)
+
+
+@pytest.fixture
+def profile():
+    return RegionProfile(
+        mpki=25.0,
+        writeback_per_miss=0.5,
+        footprint_regions=512,
+        hot_regions=16,
+        warm_regions=64,
+    )
+
+
+def take(generator, n):
+    return list(itertools.islice(iter(generator), n))
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self, profile):
+        a = take(RegionTrafficGenerator(profile, seed=7), 5000)
+        b = take(RegionTrafficGenerator(profile, seed=7), 5000)
+        assert a == b
+
+    def test_different_seed_different_stream(self, profile):
+        a = take(RegionTrafficGenerator(profile, seed=7), 5000)
+        b = take(RegionTrafficGenerator(profile, seed=8), 5000)
+        assert a != b
+
+    def test_different_base_block_offsets_addresses(self, profile):
+        a = take(RegionTrafficGenerator(profile, base_block=0, seed=7), 100)
+        b = take(RegionTrafficGenerator(profile, base_block=1 << 20, seed=7), 100)
+        for (_, _, block_a, _), (_, _, block_b, _) in zip(a, b):
+            assert block_b >= 1 << 20
+            assert block_a < 1 << 20
+
+
+class TestStreamStructure:
+    def test_every_write_preceded_by_registration(self, profile):
+        events = take(RegionTrafficGenerator(profile, seed=1), 20000)
+        for i, (kind, _, block, _) in enumerate(events):
+            if kind == EV_WRITE:
+                prev_kind, _, prev_block, _ = events[i - 1]
+                assert prev_kind == EV_REGISTER
+                assert prev_block == block
+
+    def test_gap_only_on_reads(self, profile):
+        events = take(RegionTrafficGenerator(profile, seed=1), 20000)
+        for kind, gap, _, _ in events:
+            if kind != EV_READ:
+                assert gap == 0
+            else:
+                assert gap >= 1
+
+    def test_mean_gap_tracks_mpki(self):
+        profile = RegionProfile(mpki=50.0, footprint_regions=512,
+                                hot_regions=16, warm_regions=64)
+        events = take(RegionTrafficGenerator(profile, seed=3), 60000)
+        gaps = [gap for kind, gap, _, _ in events if kind == EV_READ]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1000.0 / 50.0, rel=0.1)
+
+    def test_writeback_ratio_approximate(self, profile):
+        events = take(RegionTrafficGenerator(profile, seed=2), 50000)
+        counts = Counter(kind for kind, _, _, _ in events)
+        ratio = counts[EV_WRITE] / counts[EV_READ]
+        assert ratio == pytest.approx(profile.writeback_per_miss, rel=0.1)
+
+    def test_blocks_within_footprint(self, profile):
+        generator = RegionTrafficGenerator(profile, base_block=4096, seed=5)
+        for _, _, block, _ in take(generator, 30000):
+            assert 4096 <= block < 4096 + profile.footprint_regions * BLOCKS_PER_REGION
+
+
+class TestLocalityShape:
+    """The write skew that motivates the RRM (paper Section III-C)."""
+
+    def test_hot_tier_dominates_writes(self, profile):
+        generator = RegionTrafficGenerator(profile, seed=11)
+        writes = Counter()
+        for kind, _, block, _ in take(generator, 100000):
+            if kind == EV_WRITE:
+                writes[block // BLOCKS_PER_REGION] += 1
+        total = sum(writes.values())
+        top_regions = writes.most_common(profile.hot_regions)
+        top_share = sum(count for _, count in top_regions) / total
+        assert top_share > 0.55
+
+    def test_most_regions_rarely_written(self, profile):
+        generator = RegionTrafficGenerator(profile, seed=11)
+        written = set()
+        for kind, _, block, _ in take(generator, 100000):
+            if kind == EV_WRITE:
+                written.add(block // BLOCKS_PER_REGION)
+        # The cold tail means many footprint regions stay unwritten.
+        assert len(written) < profile.footprint_regions
+
+    def test_streaming_registrations_are_clean(self):
+        profile = RegionProfile(
+            mpki=25.0, writeback_per_miss=0.5, footprint_regions=512,
+            hot_regions=8, warm_regions=16,
+            hot_write_share=0.0, warm_write_share=0.0, streaming_fraction=1.0,
+        )
+        generator = RegionTrafficGenerator(profile, seed=4)
+        registrations = [
+            dirty for kind, _, _, dirty in take(generator, 20000)
+            if kind == EV_REGISTER
+        ]
+        assert registrations and not any(registrations)
+
+    def test_hot_registrations_are_dirty(self):
+        profile = RegionProfile(
+            mpki=25.0, writeback_per_miss=0.5, footprint_regions=512,
+            hot_regions=8, warm_regions=16,
+            hot_write_share=1.0, warm_write_share=0.0, streaming_fraction=0.0,
+        )
+        generator = RegionTrafficGenerator(profile, seed=4)
+        registrations = [
+            dirty for kind, _, _, dirty in take(generator, 20000)
+            if kind == EV_REGISTER
+        ]
+        assert registrations and all(registrations)
+
+    def test_hot_blocks_rewritten(self):
+        """Hot-region blocks must receive repeated writes (temporal
+        locality) — that is what makes short retention safe."""
+        profile = RegionProfile(
+            mpki=25.0, writeback_per_miss=0.5, footprint_regions=512,
+            hot_regions=4, warm_regions=8, hot_write_share=0.9,
+            warm_write_share=0.05, streaming_fraction=0.0,
+            hot_working_blocks=8,
+        )
+        generator = RegionTrafficGenerator(profile, seed=4)
+        writes = Counter(
+            block for kind, _, block, _ in take(generator, 30000)
+            if kind == EV_WRITE
+        )
+        assert writes.most_common(1)[0][1] > 10
+
+
+class TestPhaseRotation:
+    def test_hot_set_changes_after_rotation(self):
+        profile = RegionProfile(
+            mpki=25.0, writeback_per_miss=0.5, footprint_regions=512,
+            hot_regions=16, warm_regions=64,
+            phase_interval_writes=500, phase_rotation_fraction=0.5,
+        )
+        generator = RegionTrafficGenerator(profile, seed=9)
+        before = set(generator._hot)
+        stream = iter(generator)
+        while generator.phase_changes == 0:
+            next(stream)
+        after = set(generator._hot)
+        assert after != before
+        assert len(after) == len(before)
+
+    def test_rotation_disabled_with_zero_interval(self):
+        profile = RegionProfile(
+            mpki=25.0, writeback_per_miss=0.5, footprint_regions=512,
+            hot_regions=16, warm_regions=64, phase_interval_writes=0,
+        )
+        generator = RegionTrafficGenerator(profile, seed=9)
+        list(itertools.islice(iter(generator), 50000))
+        assert generator.phase_changes == 0
+
+    def test_rotated_regions_stay_in_footprint(self):
+        profile = RegionProfile(
+            mpki=25.0, writeback_per_miss=0.5, footprint_regions=256,
+            hot_regions=8, warm_regions=16,
+            phase_interval_writes=300, phase_rotation_fraction=0.5,
+        )
+        generator = RegionTrafficGenerator(profile, base_block=1024, seed=9)
+        for _, _, block, _ in itertools.islice(iter(generator), 40000):
+            assert 1024 <= block < 1024 + 256 * BLOCKS_PER_REGION
+        assert generator.phase_changes > 1
+
+    def test_decay_demotions_happen_under_rotation(self):
+        """End-to-end: phase rotation makes the RRM's decay machinery
+        demote obsolete hot regions."""
+        import dataclasses
+
+        from repro.sim.config import SystemConfig
+        from repro.sim.runner import run_workload
+        from repro.sim.schemes import Scheme
+        from repro.workloads.spec2006 import BENCHMARKS, BenchmarkProfile
+
+        # A rapidly phase-changing workload at tiny-run traffic volumes.
+        # The footprint is kept small enough that RRM entries survive to
+        # their decay wrap instead of being evicted first (the tiny RRM
+        # has only n_sets*n_ways entries).
+        churner = BenchmarkProfile(
+            name="churner",
+            paper_mpki=26.0,
+            traffic=RegionProfile(
+                mpki=26.0, writeback_per_miss=0.55, footprint_regions=1024,
+                hot_regions=128, warm_regions=256,
+                hot_write_share=0.9, warm_write_share=0.06,
+                streaming_fraction=0.0, cold_dirty_fraction=0.0,
+                phase_interval_writes=8000, phase_rotation_fraction=0.25,
+            ),
+        )
+        BENCHMARKS["churner"] = churner
+        try:
+            config = SystemConfig.tiny()
+            config = dataclasses.replace(config, duration_s=config.duration_s * 3)
+            result = run_workload(config, "churner", Scheme.RRM)
+        finally:
+            del BENCHMARKS["churner"]
+        assert result.rrm_stats["demotions"] > 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mpki": 0.0},
+            {"mpki": 10, "writeback_per_miss": -0.1},
+            {"mpki": 10, "registrations_per_write": 0.5},
+            {"mpki": 10, "footprint_regions": 10, "hot_regions": 8, "warm_regions": 8},
+            {"mpki": 10, "hot_write_share": 0.9, "warm_write_share": 0.2},
+            {"mpki": 10, "hot_working_blocks": 0},
+            {"mpki": 10, "hot_working_blocks": 65},
+            {"mpki": 10, "cold_dirty_fraction": 1.5},
+        ],
+    )
+    def test_invalid_profiles(self, kwargs):
+        with pytest.raises(ConfigError):
+            RegionProfile(**kwargs)
+
+    def test_negative_base_block_rejected(self, profile):
+        with pytest.raises(ConfigError):
+            RegionTrafficGenerator(profile, base_block=-1)
+
+    def test_cold_write_share_derived(self, profile):
+        expected = 1.0 - (
+            profile.hot_write_share + profile.warm_write_share
+            + profile.streaming_fraction
+        )
+        assert profile.cold_write_share == pytest.approx(expected)

@@ -1,0 +1,155 @@
+"""Integration tests: the full System over tiny configurations.
+
+These assert the paper's qualitative results end-to-end:
+
+- faster write modes give higher IPC;
+- fewer SETs give shorter lifetime (refresh wear dominates);
+- RRM sits between the static extremes on both axes;
+- RRM actually issues selective refreshes and fast writes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_workload
+from repro.sim.schemes import Scheme
+from repro.sim.system import System
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One tiny run per scheme, shared across assertions."""
+    config = SystemConfig.tiny()
+    return {
+        scheme: run_workload(config, "GemsFDTD", scheme)
+        for scheme in (Scheme.STATIC_7, Scheme.STATIC_3, Scheme.RRM)
+    }
+
+
+class TestPerformanceOrdering:
+    def test_fast_static_beats_slow_static(self, results):
+        assert results[Scheme.STATIC_3].ipc > results[Scheme.STATIC_7].ipc
+
+    def test_rrm_between_statics(self, results):
+        assert (
+            results[Scheme.STATIC_7].ipc
+            < results[Scheme.RRM].ipc
+            <= results[Scheme.STATIC_3].ipc * 1.01
+        )
+
+    def test_instructions_progress(self, results):
+        for result in results.values():
+            assert result.instructions > 10_000
+            assert result.ipc > 0
+
+
+class TestLifetimeOrdering:
+    def test_static3_lifetime_is_refresh_bound(self, results):
+        """Static-3 refreshes the whole device every ~2 virtual seconds;
+        its lifetime must be far below the slow scheme's."""
+        assert results[Scheme.STATIC_3].lifetime_years < (
+            results[Scheme.STATIC_7].lifetime_years / 3
+        )
+
+    def test_rrm_lifetime_between(self, results):
+        assert (
+            results[Scheme.STATIC_3].lifetime_years
+            < results[Scheme.RRM].lifetime_years
+            <= results[Scheme.STATIC_7].lifetime_years
+        )
+
+    def test_wear_reports_populated(self, results):
+        for result in results.values():
+            assert result.wear.demand_rate > 0
+            assert result.wear.global_refresh_rate > 0
+
+
+class TestWriteModeMix:
+    def test_static_schemes_are_pure(self, results):
+        assert results[Scheme.STATIC_3].fast_write_fraction == 1.0
+        assert results[Scheme.STATIC_7].fast_write_fraction == 0.0
+
+    def test_rrm_mixes_modes(self, results):
+        fraction = results[Scheme.RRM].fast_write_fraction
+        assert 0.2 < fraction < 1.0
+
+    def test_rrm_issues_selective_refreshes(self, results):
+        rrm = results[Scheme.RRM]
+        assert rrm.rrm_fast_refreshes + rrm.rrm_slow_refreshes > 0
+        assert rrm.rrm_stats is not None
+        assert rrm.rrm_stats["promotions"] > 0
+
+    def test_static_schemes_have_no_rrm_traffic(self, results):
+        for scheme in (Scheme.STATIC_3, Scheme.STATIC_7):
+            assert results[scheme].rrm_fast_refreshes == 0
+            assert results[scheme].rrm_slow_refreshes == 0
+
+
+class TestEnergyShape:
+    def test_static3_refresh_energy_dominates(self, results):
+        energy = results[Scheme.STATIC_3].energy
+        assert energy.global_refresh_rate > energy.write_rate
+
+    def test_rrm_refresh_energy_small(self, results):
+        """Paper Section VI-C: RRM's refresh energy is trivial next to its
+        write energy."""
+        energy = results[Scheme.RRM].energy
+        assert energy.rrm_refresh_rate < energy.write_rate * 0.5
+
+    def test_energy_totals_positive(self, results):
+        for result in results.values():
+            assert result.energy.total_rate > 0
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_exactly(self):
+        config = SystemConfig.tiny()
+        a = run_workload(config, "hmmer", Scheme.RRM)
+        b = run_workload(config, "hmmer", Scheme.RRM)
+        assert a.ipc == b.ipc
+        assert a.writes == b.writes
+        assert a.rrm_fast_refreshes == b.rrm_fast_refreshes
+
+    def test_different_seed_differs(self):
+        config = SystemConfig.tiny()
+        a = run_workload(config, "hmmer", Scheme.RRM)
+        b = run_workload(config.with_seed(99), "hmmer", Scheme.RRM)
+        assert a.instructions != b.instructions
+
+
+class TestSystemProtocol:
+    def test_run_only_once(self, tiny_config):
+        system = System(tiny_config, "hmmer", Scheme.STATIC_7)
+        system.run(max_events=100)
+        with pytest.raises(Exception):
+            system.run()
+
+    def test_write_trace_sink_sees_demand_writes(self, tiny_config):
+        records = []
+        system = System(
+            tiny_config, "GemsFDTD", Scheme.STATIC_7,
+            write_trace_sink=lambda t, block: records.append((t, block)),
+        )
+        result = system.run()
+        assert len(records) == result.writes
+        times = [t for t, _ in records]
+        assert times == sorted(times)
+
+    def test_mix_workload_runs(self, tiny_config):
+        config = dataclasses.replace(tiny_config, n_cores=4)
+        result = run_workload(config, "MIX_1", Scheme.RRM)
+        assert result.instructions > 0
+
+    def test_no_retention_violations_in_tiny(self, results):
+        assert results[Scheme.RRM].retention_violations == 0
+
+    def test_paper_config_smoke(self):
+        """The full paper-scale configuration must at least build and
+        advance (bounded by max_events, not duration)."""
+        config = SystemConfig.paper()
+        result = run_workload(
+            config, "GemsFDTD", Scheme.RRM, max_events=20_000
+        )
+        assert result.instructions > 0

@@ -1,0 +1,63 @@
+"""Integration tests on multi-channel configurations.
+
+The default scaled configuration is single-channel; these tests make sure
+nothing in the stack silently assumes one channel (address decoding,
+queue routing, RRM refresh fan-out).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import MemoryConfig, SystemConfig
+from repro.sim.runner import run_workload
+from repro.sim.schemes import Scheme
+from repro.utils.units import parse_size
+
+
+@pytest.fixture(scope="module")
+def multichannel_config():
+    base = SystemConfig.tiny()
+    return dataclasses.replace(
+        base,
+        memory=dataclasses.replace(
+            base.memory,
+            size_bytes=parse_size("256MB"),
+            n_channels=4,
+            banks_per_channel=2,
+        ),
+    )
+
+
+class TestMultiChannel:
+    def test_rrm_runs_on_four_channels(self, multichannel_config):
+        result = run_workload(multichannel_config, "GemsFDTD", Scheme.RRM)
+        assert result.instructions > 0
+        assert result.writes > 0
+        assert result.retention_violations == 0
+
+    def test_more_channels_do_not_hurt(self, multichannel_config):
+        """4 channels x 2 banks must be at least as fast as 1 x 2 for the
+        same workload (more parallelism, same or better)."""
+        narrow = SystemConfig.tiny()
+        wide = run_workload(multichannel_config, "GemsFDTD", Scheme.STATIC_7)
+        base = run_workload(narrow, "GemsFDTD", Scheme.STATIC_7)
+        assert wide.ipc >= base.ipc * 0.95
+
+    def test_schemes_still_ordered(self, multichannel_config):
+        s7 = run_workload(multichannel_config, "GemsFDTD", Scheme.STATIC_7)
+        s3 = run_workload(multichannel_config, "GemsFDTD", Scheme.STATIC_3)
+        rrm = run_workload(multichannel_config, "GemsFDTD", Scheme.RRM)
+        assert s7.ipc <= rrm.ipc <= s3.ipc * 1.02
+
+    def test_footprint_clamped_to_core_window(self):
+        """A workload whose nominal footprint exceeds the per-core address
+        window must be clamped, not crash or alias across cores."""
+        base = SystemConfig.tiny()
+        small_memory = dataclasses.replace(
+            base,
+            memory=dataclasses.replace(base.memory, size_bytes=parse_size("16MB")),
+            footprint_scale=1.0,  # nominal footprints, far larger than 16MB/2
+        )
+        result = run_workload(small_memory, "mcf", Scheme.STATIC_7)
+        assert result.instructions > 0

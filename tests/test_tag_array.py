@@ -1,0 +1,114 @@
+"""Tests for the RRM set-associative tag array."""
+
+import pytest
+
+from repro.core.config import RRMConfig
+from repro.core.tag_array import RRMTagArray
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def tags(rrm_config):
+    return RRMTagArray(rrm_config)
+
+
+def regions_in_set(config: RRMConfig, set_index: int, count: int):
+    """Distinct regions that all map to *set_index*."""
+    return [set_index + i * config.n_sets for i in range(count)]
+
+
+class TestLookupAllocate:
+    def test_miss_returns_none(self, tags):
+        assert tags.lookup(5) is None
+        assert tags.hit_rate == 0.0
+
+    def test_allocate_then_hit(self, tags):
+        entry, victim = tags.allocate(5)
+        assert victim is None
+        assert tags.lookup(5) is entry
+        assert tags.hits == 1
+
+    def test_double_allocate_is_error(self, tags):
+        tags.allocate(5)
+        with pytest.raises(SimulationError):
+            tags.allocate(5)
+
+    def test_occupancy(self, tags):
+        for region in (1, 2, 3):
+            tags.allocate(region)
+        assert tags.occupancy == 3
+
+    def test_set_isolation(self, tags, rrm_config):
+        """Filling one set never evicts entries of another."""
+        set0 = regions_in_set(rrm_config, 0, rrm_config.n_ways + 2)
+        other, _ = tags.allocate(1)  # set 1
+        for region in set0:
+            tags.allocate(region)
+        assert tags.lookup(1) is other
+
+
+class TestLRUEviction:
+    def test_lru_entry_evicted(self, tags, rrm_config):
+        regions = regions_in_set(rrm_config, 0, rrm_config.n_ways)
+        for region in regions:
+            tags.allocate(region)
+        # Touch everything except the first: it becomes the LRU.
+        for region in regions[1:]:
+            tags.lookup(region)
+        _, victim = tags.allocate(regions[-1] + rrm_config.n_sets)
+        assert victim is not None
+        assert victim.region == regions[0]
+        assert not victim.valid
+
+    def test_lookup_refreshes_recency(self, tags, rrm_config):
+        regions = regions_in_set(rrm_config, 0, rrm_config.n_ways)
+        for region in regions:
+            tags.allocate(region)
+        tags.lookup(regions[0])  # protect the oldest
+        _, victim = tags.allocate(regions[-1] + rrm_config.n_sets)
+        assert victim.region == regions[1]
+
+    def test_untouched_lookup_does_not_refresh(self, tags, rrm_config):
+        regions = regions_in_set(rrm_config, 0, rrm_config.n_ways)
+        for region in regions:
+            tags.allocate(region)
+        tags.lookup(regions[0], touch=False)
+        _, victim = tags.allocate(regions[-1] + rrm_config.n_sets)
+        assert victim.region == regions[0]
+
+    def test_eviction_counter(self, tags, rrm_config):
+        for region in regions_in_set(rrm_config, 0, rrm_config.n_ways + 3):
+            tags.allocate(region)
+        assert tags.evictions == 3
+
+
+class TestIteration:
+    def test_entries_yields_all_valid(self, tags):
+        for region in (1, 2, 9):
+            tags.allocate(region)
+        assert {e.region for e in tags.entries()} == {1, 2, 9}
+
+    def test_hot_entries_filtered(self, tags, rrm_config):
+        a, _ = tags.allocate(1)
+        b, _ = tags.allocate(2)
+        for _ in range(rrm_config.hot_threshold):
+            b.record_dirty_write(rrm_config.hot_threshold)
+        assert [e.region for e in tags.hot_entries()] == [2]
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self, tags):
+        entry, _ = tags.allocate(5)
+        assert tags.invalidate(5) is entry
+        assert not entry.valid
+        assert tags.lookup(5) is None
+
+    def test_invalidate_missing_returns_none(self, tags):
+        assert tags.invalidate(42) is None
+
+    def test_set_occupancy(self, tags, rrm_config):
+        tags.allocate(0)
+        tags.allocate(rrm_config.n_sets)  # same set
+        tags.allocate(1)  # different set
+        assert tags.set_occupancy(0) == 2
+        assert tags.set_occupancy(1) == 1

@@ -1,0 +1,51 @@
+"""Tests for the PCM timing parameters (paper Table V)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.timing import BUS_CYCLE_NS, PCMTimings
+
+
+class TestDefaults:
+    def test_bus_cycle_is_400mhz(self):
+        assert BUS_CYCLE_NS == pytest.approx(2.5)
+
+    def test_trcd_is_48_cycles(self):
+        timings = PCMTimings()
+        assert timings.t_rcd_ns == pytest.approx(120.0)
+
+    def test_tcas_is_one_cycle(self):
+        assert PCMTimings().t_cas_ns == pytest.approx(2.5)
+
+    def test_tfaw(self):
+        assert PCMTimings().t_faw_ns == pytest.approx(50.0)
+
+    def test_burst_is_eight_cycles(self):
+        assert PCMTimings().data_burst_ns == pytest.approx(20.0)
+
+    def test_write_through_default(self):
+        assert PCMTimings().write_through is True
+
+
+class TestDerived:
+    def test_row_hit_read(self):
+        timings = PCMTimings()
+        assert timings.row_hit_read_ns == pytest.approx(2.5 + 20.0)
+
+    def test_row_miss_read(self):
+        timings = PCMTimings()
+        assert timings.row_miss_read_ns == pytest.approx(120.0 + 2.5 + 20.0)
+
+    def test_miss_costs_more_than_hit(self):
+        timings = PCMTimings()
+        assert timings.row_miss_read_ns > timings.row_hit_read_ns
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        ["t_rcd_ns", "t_cas_ns", "t_faw_ns", "bus_cycle_ns", "data_burst_ns"],
+    )
+    def test_non_positive_rejected(self, field):
+        with pytest.raises(ConfigError):
+            PCMTimings(**{field: 0.0})

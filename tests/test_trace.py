@@ -1,0 +1,90 @@
+"""Tests for trace file I/O."""
+
+import itertools
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workloads.events import EV_READ, EV_REGISTER, EV_WRITE
+from repro.workloads.synthetic import RegionProfile, RegionTrafficGenerator
+from repro.workloads.trace import TraceReader, TraceRecord, TraceWriter, write_trace
+
+
+SAMPLE_EVENTS = [
+    (EV_READ, 37, 1024, False),
+    (EV_REGISTER, 0, 2048, True),
+    (EV_WRITE, 0, 2048, False),
+    (EV_REGISTER, 0, 4096, False),
+]
+
+
+class TestRecord:
+    def test_format_parse_roundtrip(self):
+        for event in SAMPLE_EVENTS:
+            record = TraceRecord(*event)
+            assert TraceRecord.parse(record.format()).as_event() == event
+
+    def test_parse_rejects_wrong_field_count(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord.parse("read 1 2")
+
+    def test_parse_rejects_unknown_kind(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord.parse("fetch 1 2 0")
+
+    def test_parse_rejects_bad_integers(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord.parse("read x 2 0")
+
+    def test_parse_rejects_out_of_range(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord.parse("read -1 2 0")
+        with pytest.raises(TraceFormatError):
+            TraceRecord.parse("read 1 2 2")
+
+
+class TestFileRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "t.trace"
+        count = write_trace(path, SAMPLE_EVENTS, header="sample events")
+        assert count == len(SAMPLE_EVENTS)
+        assert list(TraceReader(path)) == SAMPLE_EVENTS
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, SAMPLE_EVENTS, header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# comment\n\nread 5 10 0\n")
+        assert list(TraceReader(path)) == [(EV_READ, 5, 10, False)]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            TraceReader(tmp_path / "nope.trace")
+
+    def test_writer_outside_context_rejected(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.trace")
+        with pytest.raises(TraceFormatError):
+            writer.write_event(SAMPLE_EVENTS[0])
+
+    def test_bad_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("read 5 10 0\ngarbage\n")
+        reader = TraceReader(path)
+        with pytest.raises(TraceFormatError, match="line 2"):
+            list(reader)
+
+
+class TestGeneratorCapture:
+    def test_generated_stream_replays_identically(self, tmp_path):
+        profile = RegionProfile(
+            mpki=20.0, footprint_regions=256, hot_regions=8, warm_regions=32
+        )
+        generator = RegionTrafficGenerator(profile, seed=3)
+        events = list(itertools.islice(iter(generator), 2000))
+        path = tmp_path / "gen.trace"
+        write_trace(path, events)
+        assert list(TraceReader(path)) == events

@@ -1,0 +1,106 @@
+"""Tests for repro.utils.units."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.units import (
+    NS_PER_S,
+    S_PER_YEAR,
+    format_bytes,
+    format_seconds,
+    ns_to_s,
+    parse_size,
+    s_to_ns,
+)
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(512) == 512
+
+    def test_bare_number_string(self):
+        assert parse_size("64") == 64
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4KB", 4096),
+            ("1MB", 1 << 20),
+            ("8GB", 8 << 30),
+            ("2TB", 2 << 40),
+            ("96KB", 96 * 1024),
+            ("6MB", 6 << 20),
+        ],
+    )
+    def test_binary_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_size(" 4 kb ") == 4096
+
+    def test_fractional_sizes_resolve_to_bytes(self):
+        assert parse_size("0.5KB") == 512
+
+    def test_non_integral_byte_count_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("0.3B")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+    def test_plain_b_suffix(self):
+        assert parse_size("128B") == 128
+
+
+class TestFormatBytes:
+    def test_exact_suffix_chosen(self):
+        assert format_bytes(98304) == "96KB"
+        assert format_bytes(6 << 20) == "6MB"
+        assert format_bytes(8 << 30) == "8GB"
+
+    def test_small_value(self):
+        assert format_bytes(37) == "37B"
+
+    def test_inexact_value_uses_decimal(self):
+        assert format_bytes((1 << 20) + 1).endswith("MB")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            format_bytes(-1)
+
+    def test_roundtrip_with_parse(self):
+        for size in ("4KB", "96KB", "6MB", "8GB"):
+            assert format_bytes(parse_size(size)) == size
+
+
+class TestTimeConversions:
+    def test_ns_to_s(self):
+        assert ns_to_s(1_000_000_000.0) == 1.0
+
+    def test_s_to_ns(self):
+        assert s_to_ns(2.0) == 2 * NS_PER_S
+
+    def test_roundtrip(self):
+        assert ns_to_s(s_to_ns(0.125)) == pytest.approx(0.125)
+
+    def test_year_constant(self):
+        # Julian year.
+        assert S_PER_YEAR == pytest.approx(31_557_600)
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (2.0, "2s"),
+            (0.002, "2ms"),
+            (2e-6, "2us"),
+            (5e-9, "5ns"),
+        ],
+    )
+    def test_unit_selection(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+    def test_negative(self):
+        assert format_seconds(-2.0) == "-2s"

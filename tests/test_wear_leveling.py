@@ -1,0 +1,127 @@
+"""Tests for the Start-Gap wear-levelling substrate."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.wear_leveling import LeveledWearSimulator, StartGapLeveler
+
+
+class TestMapping:
+    def test_initial_identity(self):
+        leveler = StartGapLeveler(n_lines=8)
+        for logical in range(8):
+            assert leveler.physical(logical) == logical
+
+    def test_gap_slot_holds_no_line(self):
+        leveler = StartGapLeveler(n_lines=8)
+        assert leveler.logical(leveler.gap) is None
+
+    def test_mapping_is_bijective_at_all_times(self):
+        leveler = StartGapLeveler(n_lines=7, gap_write_interval=1)
+        for _ in range(60):  # several full rotations
+            slots = [leveler.physical(l) for l in range(7)]
+            assert len(set(slots)) == 7
+            assert leveler.gap not in slots
+            leveler.record_write()
+
+    def test_out_of_range(self):
+        leveler = StartGapLeveler(n_lines=4)
+        with pytest.raises(ConfigError):
+            leveler.physical(4)
+        with pytest.raises(ConfigError):
+            leveler.logical(6)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_lines": 0},
+        {"n_lines": 4, "gap_write_interval": 0},
+    ])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            StartGapLeveler(**kwargs)
+
+
+class TestGapMovement:
+    def test_gap_walks_down(self):
+        leveler = StartGapLeveler(n_lines=4, gap_write_interval=1)
+        assert leveler.gap == 4
+        leveler.record_write()
+        assert leveler.gap == 3
+
+    def test_interval_counts_writes(self):
+        leveler = StartGapLeveler(n_lines=4, gap_write_interval=3)
+        assert leveler.record_write() is None
+        assert leveler.record_write() is None
+        assert leveler.record_write() is not None
+
+    def test_copy_targets_vacated_slot(self):
+        leveler = StartGapLeveler(n_lines=4, gap_write_interval=1)
+        # First move: line below the gap (slot 3) is copied into slot 4.
+        assert leveler.record_write() == 4
+        assert leveler.gap == 3
+        # Walk the gap to 0, then the wrap copy lands in slot 0.
+        for expected in (3, 2, 1):
+            assert leveler.record_write() == expected
+        assert leveler.gap == 0
+        assert leveler.record_write() == 0
+        assert leveler.gap == 4 and leveler.start == 1
+
+    def test_rotation_advances_start(self):
+        leveler = StartGapLeveler(n_lines=4, gap_write_interval=1)
+        for _ in range(5):  # gap walks 4 -> 0, then wraps
+            leveler.record_write()
+        assert leveler.start == 1
+        assert leveler.gap == 4
+        assert leveler.rotations == 1
+
+    def test_line_moves_after_rotation(self):
+        leveler = StartGapLeveler(n_lines=4, gap_write_interval=1)
+        before = leveler.physical(0)
+        for _ in range(5):
+            leveler.record_write()
+        assert leveler.physical(0) != before
+
+
+class TestLevelingEfficiency:
+    def test_uniform_wear_is_perfect(self):
+        assert StartGapLeveler.leveling_efficiency([5, 5, 5]) == 1.0
+
+    def test_hotspot_lowers_efficiency(self):
+        assert StartGapLeveler.leveling_efficiency([10, 1, 1]) == pytest.approx(0.4)
+
+    def test_zero_wear(self):
+        assert StartGapLeveler.leveling_efficiency([0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            StartGapLeveler.leveling_efficiency([])
+
+    def test_hotspot_stream_levels_out(self):
+        """A single-line hot spot, unlevelled, gives efficiency ~1/N;
+        Start-Gap spreads it to near-uniform over enough rotations."""
+        n_lines = 16
+        unlevelled = [0] * (n_lines + 1)
+        simulator = LeveledWearSimulator(
+            StartGapLeveler(n_lines=n_lines, gap_write_interval=4)
+        )
+        rng = random.Random(3)
+        for _ in range(40_000):
+            # 80% of writes hit line 0; the rest are uniform.
+            line = 0 if rng.random() < 0.8 else rng.randrange(n_lines)
+            unlevelled[line] += 1
+            simulator.write(line)
+        baseline = StartGapLeveler.leveling_efficiency(unlevelled)
+        levelled = simulator.efficiency()
+        assert baseline < 0.1
+        assert levelled > 0.5
+        assert levelled > 5 * baseline
+
+    def test_gap_moves_cost_extra_writes(self):
+        simulator = LeveledWearSimulator(
+            StartGapLeveler(n_lines=8, gap_write_interval=10)
+        )
+        for _ in range(100):
+            simulator.write(0)
+        # 100 demand writes + 10 gap-move copies.
+        assert simulator.total_writes() == 110

@@ -1,0 +1,114 @@
+"""Tests for the write-mode table (paper Table I)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcm.drift import DriftModel, DriftParameters
+from repro.pcm.write_modes import (
+    RESET_LATENCY_NS,
+    SET_ITERATION_LATENCY_NS,
+    WriteModeTable,
+    write_latency_ns,
+)
+
+PAPER_TABLE_I = {
+    # n_sets: (current_uA, norm_energy, retention_s, latency_ns)
+    7: (30, 1.0, 3054.9, 1150),
+    6: (32, 0.975, 991.4, 1000),
+    5: (35, 0.972, 104.4, 850),
+    4: (37, 0.869, 24.05, 700),
+    3: (42, 0.840, 2.01, 550),
+}
+
+
+class TestLatency:
+    @pytest.mark.parametrize("n_sets", [3, 4, 5, 6, 7])
+    def test_latency_recurrence(self, n_sets):
+        assert write_latency_ns(n_sets) == (
+            RESET_LATENCY_NS + n_sets * SET_ITERATION_LATENCY_NS
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            write_latency_ns(2)
+        with pytest.raises(ConfigError):
+            write_latency_ns(8)
+
+
+class TestTable:
+    def test_full_table_matches_paper(self, modes):
+        for n_sets, (current, energy, retention, latency) in PAPER_TABLE_I.items():
+            mode = modes.mode(n_sets)
+            assert mode.set_current_ua == current
+            assert mode.normalized_energy == pytest.approx(energy)
+            assert mode.retention_s == pytest.approx(retention, rel=0.005)
+            assert mode.latency_ns == latency
+
+    def test_fast_and_slow_aliases(self, modes):
+        assert modes.fast.n_sets == 3
+        assert modes.slow.n_sets == 7
+
+    def test_iteration_is_sorted_and_complete(self, modes):
+        table = list(modes)
+        assert [m.n_sets for m in table] == [3, 4, 5, 6, 7]
+        assert len(modes) == 5
+
+    def test_mode_names(self, modes):
+        assert modes.mode(7).name == "7-SETs-Write"
+        assert modes.mode(3).name == "3-SETs-Write"
+
+    def test_unknown_mode_rejected(self, modes):
+        with pytest.raises(ConfigError):
+            modes.mode(9)
+
+    def test_current_decreases_with_sets(self, modes):
+        currents = [m.set_current_ua for m in modes]
+        assert currents == sorted(currents, reverse=True)
+
+
+class TestPauseBoundaries:
+    def test_boundary_count(self, modes):
+        # RESET end plus one per SET iteration.
+        assert len(modes.mode(3).set_boundaries_ns) == 4
+        assert len(modes.mode(7).set_boundaries_ns) == 8
+
+    def test_first_boundary_after_reset(self, modes):
+        assert modes.mode(5).set_boundaries_ns[0] == RESET_LATENCY_NS
+
+    def test_last_boundary_is_write_end(self, modes):
+        mode = modes.mode(4)
+        assert mode.set_boundaries_ns[-1] == mode.latency_ns
+
+    def test_boundaries_spaced_by_set_latency(self, modes):
+        bounds = modes.mode(6).set_boundaries_ns
+        deltas = {b - a for a, b in zip(bounds, bounds[1:])}
+        assert deltas == {SET_ITERATION_LATENCY_NS}
+
+
+class TestRefreshInterval:
+    def test_default_slack_is_half_percent(self, modes):
+        interval = modes.refresh_interval_s(3)
+        retention = modes.mode(3).retention_s
+        assert interval == pytest.approx(retention * 0.995)
+
+    def test_paper_interval_close_to_two_seconds(self, modes):
+        assert modes.refresh_interval_s(3) == pytest.approx(2.0, rel=0.01)
+
+    def test_explicit_slack(self, modes):
+        retention = modes.mode(3).retention_s
+        assert modes.refresh_interval_s(3, slack_s=0.01) == pytest.approx(
+            retention - 0.01
+        )
+
+    def test_slack_bounds_checked(self, modes):
+        with pytest.raises(ConfigError):
+            modes.refresh_interval_s(3, slack_s=-1.0)
+        with pytest.raises(ConfigError):
+            modes.refresh_interval_s(3, slack_s=10.0)
+
+
+class TestScaledTable:
+    def test_scaled_table_keeps_latency(self):
+        scaled = WriteModeTable(DriftModel(DriftParameters(drift_scale=50.0)))
+        assert scaled.mode(7).latency_ns == 1150
+        assert scaled.mode(7).retention_s == pytest.approx(3054.9 / 50, rel=0.005)
