@@ -11,7 +11,12 @@ Environment knobs:
 - ``REPRO_BENCH_QUICK=1``   use the tiny configuration (smoke run);
 - ``REPRO_BENCH_FULL=1``    run all 11 workloads instead of the default
   representative subset;
-- ``REPRO_BENCH_SEED=N``    change the simulation seed.
+- ``REPRO_BENCH_SEED=N``    change the simulation seed;
+- ``REPRO_BENCH_RETRIES=N`` retries per failed simulation (default 1);
+- ``REPRO_BENCH_JOURNAL=PATH`` checkpoint completed cells to a JSONL
+  journal (see :mod:`repro.resilience.journal`) and reload them on the
+  next session, so an interrupted or crashed bench run resumes instead
+  of recomputing the whole sweep.
 
 Reports are printed and also written under ``benchmarks/results/``.
 """
@@ -20,8 +25,9 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.resilience import ResultJournal, RetryPolicy, run_with_retry
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
 from repro.sim.runner import run_workload
@@ -71,6 +77,12 @@ class SweepCache:
     configuration derived from the base config — ``"default"`` for the
     main sweep, or e.g. ``"threshold=8"`` for sensitivity variants
     registered via :meth:`config_for`.
+
+    Runs go through the resilience layer: transient failures are retried
+    under a deterministic backoff policy, and with ``REPRO_BENCH_JOURNAL``
+    set every completed cell is checkpointed atomically and reloaded on
+    the next session, so a crashed bench run loses at most the cell it
+    was computing.
     """
 
     def __init__(self) -> None:
@@ -78,6 +90,33 @@ class SweepCache:
         self._configs: Dict[str, SystemConfig] = {"default": self.base}
         self._results: Dict[Tuple[str, str, Scheme], SimResult] = {}
         self.runs_executed = 0
+        self.retry = RetryPolicy(
+            max_retries=int(os.environ.get("REPRO_BENCH_RETRIES", "1"))
+        )
+        self._journal: Optional[ResultJournal] = None
+        journal_path = os.environ.get("REPRO_BENCH_JOURNAL", "")
+        if journal_path:
+            self._journal = ResultJournal(journal_path)
+            self._load_journal(journal_path)
+
+    def _load_journal(self, journal_path: str) -> None:
+        """Reload previously checkpointed cells; start fresh otherwise.
+
+        Journal keys pack the variant into the workload slot as
+        ``variant|workload`` so the (workload, scheme) journal schema
+        carries the cache's three-part key unchanged.
+        """
+        try:
+            contents = ResultJournal.load(journal_path)
+        except FileNotFoundError:
+            self._journal.start({"seed": self.base.seed})
+            return
+        for (packed, scheme_name), record in contents.results.items():
+            variant, _, workload = packed.partition("|")
+            self._results[(variant, workload, Scheme(scheme_name))] = (
+                SimResult.from_json_dict(record)
+            )
+        self._journal.resume_from(contents, {"seed": self.base.seed})
 
     def register_variant(self, name: str, config: SystemConfig) -> None:
         existing = self._configs.get(name)
@@ -94,8 +133,19 @@ class SweepCache:
         key = (variant, workload, scheme)
         if key not in self._results:
             config = self._configs[variant]
-            self._results[key] = run_workload(config, workload, scheme)
+            result = run_with_retry(
+                run_workload,
+                (config, workload, scheme),
+                key=(variant, workload, scheme.value),
+                retry=self.retry,
+                seed=config.seed,
+            )
+            self._results[key] = result
             self.runs_executed += 1
+            if self._journal is not None:
+                self._journal.append_result(
+                    f"{variant}|{workload}", scheme.value, result.to_json_dict()
+                )
         return self._results[key]
 
     def ensure(

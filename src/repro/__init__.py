@@ -18,6 +18,7 @@ Quickstart::
 
 from repro.core import RRMConfig, RegionRetentionMonitor
 from repro.pcm import DriftModel, DriftParameters, WriteMode, WriteModeTable
+from repro.resilience import FailedRun, FaultPlan, ResultJournal, RetryPolicy
 from repro.sim import (
     ExperimentRunner,
     MemoryConfig,
@@ -39,7 +40,11 @@ __all__ = [
     "WriteMode",
     "WriteModeTable",
     "ExperimentRunner",
+    "FailedRun",
+    "FaultPlan",
     "MemoryConfig",
+    "ResultJournal",
+    "RetryPolicy",
     "Scheme",
     "SimResult",
     "System",

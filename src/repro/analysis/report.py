@@ -47,25 +47,63 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def _missing_cell(runner: ExperimentRunner, workload: str, scheme: Scheme) -> str:
+    """Annotation for a cell the sweep could not produce.
+
+    Failed runs show their failure kind (``FAIL:timeout``); cells that
+    were simply never run show ``n/a``.
+    """
+    failed = runner.failures.get((workload, scheme))
+    if failed is not None:
+        return f"FAIL:{failed.kind}"
+    return "n/a"
+
+
+def failure_report(
+    runner: ExperimentRunner, title: str = "Failed runs"
+) -> str:
+    """Structured summary of every job the sweep could not complete."""
+    headers = ["workload", "scheme", "kind", "attempts", "message"]
+    rows = [
+        [workload, scheme.value, failed.kind, failed.attempts, failed.message]
+        for (workload, scheme), failed in sorted(
+            runner.failures.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+        )
+    ]
+    if not rows:
+        rows = [["(none)", "-", "-", "-", "-"]]
+    return format_table(headers, rows, title=title)
+
+
 def performance_report(
     runner: ExperimentRunner,
     schemes: Optional[List[Scheme]] = None,
     baseline: Scheme = Scheme.STATIC_7,
     title: str = "IPC normalised to Static-7-SETs",
 ) -> str:
-    """Figures 2 / 7: per-workload normalised IPC plus geomean."""
+    """Figures 2 / 7: per-workload normalised IPC plus geomean.
+
+    Missing or failed cells are annotated instead of raising; the geomean
+    row covers only workloads that completed under both the scheme and
+    the baseline.
+    """
     schemes = schemes or runner.schemes
     headers = ["workload"] + [s.value for s in schemes]
     rows = []
     for workload in runner.workloads:
-        base = runner.result(workload, baseline).ipc
-        rows.append(
-            [workload] + [runner.result(workload, s).ipc / base for s in schemes]
-        )
-    geo = ["geomean"] + [
-        geomean(runner.normalized_ipc(s, baseline)) for s in schemes
-    ]
-    rows.append(geo)
+        row: List[object] = [workload]
+        for scheme in schemes:
+            if runner.has_result(workload, scheme) and runner.has_result(
+                workload, baseline
+            ):
+                base = runner.result(workload, baseline).ipc
+                row.append(runner.result(workload, scheme).ipc / base)
+            else:
+                row.append(_missing_cell(runner, workload, scheme))
+        rows.append(row)
+    rows.append(
+        ["geomean"] + [runner.geomean_speedup(s, baseline) for s in schemes]
+    )
     return format_table(headers, rows, title=title)
 
 
@@ -74,14 +112,22 @@ def lifetime_report(
     schemes: Optional[List[Scheme]] = None,
     title: str = "Memory lifetime (years)",
 ) -> str:
-    """Figures 3 / 8: per-workload lifetime in years plus geomean."""
+    """Figures 3 / 8: per-workload lifetime in years plus geomean.
+
+    Missing or failed cells are annotated instead of raising.
+    """
     schemes = schemes or runner.schemes
     headers = ["workload"] + [s.value for s in schemes]
     rows = []
     for workload in runner.workloads:
         rows.append(
             [workload]
-            + [runner.result(workload, s).lifetime_years for s in schemes]
+            + [
+                runner.result(workload, s).lifetime_years
+                if runner.has_result(workload, s)
+                else _missing_cell(runner, workload, s)
+                for s in schemes
+            ]
         )
     rows.append(["geomean"] + [runner.geomean_lifetime(s) for s in schemes])
     return format_table(headers, rows, title=title)
@@ -104,12 +150,15 @@ def wear_report(
     per_scheme = {}
     for scheme in schemes:
         writes, rrm, glob = [], [], []
-        for workload in runner.workloads:
+        completed = runner.completed_workloads(scheme)
+        for workload in completed:
             wear = runner.result(workload, scheme).wear
             writes.append(wear.demand_rate * window_s)
             rrm.append(wear.rrm_refresh_rate * window_s)
             glob.append(wear.global_refresh_rate * window_s)
-        n = len(runner.workloads)
+        n = len(completed)
+        if n == 0:
+            continue
         per_scheme[scheme] = (
             sum(writes) / n,
             sum(rrm) / n,
@@ -120,6 +169,9 @@ def wear_report(
         baseline_total = sum(per_scheme[normalize_to])
     rows = []
     for scheme in schemes:
+        if scheme not in per_scheme:
+            rows.append([scheme.value] + ["n/a"] * 4)
+            continue
         w, r, g = per_scheme[scheme]
         total = w + r + g
         if baseline_total:
@@ -145,19 +197,25 @@ def energy_report(
     per_scheme = {}
     for scheme in schemes:
         sums = [0.0, 0.0, 0.0, 0.0]
-        for workload in runner.workloads:
+        completed = runner.completed_workloads(scheme)
+        for workload in completed:
             energy = runner.result(workload, scheme).energy
             sums[0] += energy.write_rate * window_s
             sums[1] += energy.read_rate * window_s
             sums[2] += energy.rrm_refresh_rate * window_s
             sums[3] += energy.global_refresh_rate * window_s
-        n = len(runner.workloads)
+        n = len(completed)
+        if n == 0:
+            continue
         per_scheme[scheme] = [x / n for x in sums]
     baseline_total = None
     if normalize_to is not None and normalize_to in per_scheme:
         baseline_total = sum(per_scheme[normalize_to])
     rows = []
     for scheme in schemes:
+        if scheme not in per_scheme:
+            rows.append([scheme.value] + ["n/a"] * 5)
+            continue
         parts = per_scheme[scheme]
         total = sum(parts)
         if baseline_total:

@@ -25,8 +25,14 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.regions import RegionIntervalAnalyzer
-from repro.analysis.report import format_table, lifetime_report, performance_report
+from repro.analysis.report import (
+    failure_report,
+    format_table,
+    lifetime_report,
+    performance_report,
+)
 from repro.core.config import RRMConfig
+from repro.resilience import FaultPlan, RetryPolicy
 from repro.pcm.write_modes import WriteModeTable
 from repro.sim.config import SystemConfig
 from repro.sim.runner import ExperimentRunner, run_workload
@@ -93,19 +99,42 @@ def cmd_sweep(args) -> int:
     schemes = (
         [scheme_from_name(s) for s in args.schemes] if args.schemes else all_schemes()
     )
+    fault_plan = FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    if fault_plan:
+        print(
+            f"  fault injection armed: {', '.join(args.inject_faults)}",
+            file=sys.stderr,
+        )
     runner = ExperimentRunner(
-        config, workloads=workloads, schemes=schemes, n_workers=args.workers
+        config,
+        workloads=workloads,
+        schemes=schemes,
+        n_workers=args.workers,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(max_retries=args.retries),
+        journal_path=args.journal,
+        fault_plan=fault_plan,
     )
-    runner.run_all(
-        progress=lambda w, s, r: print(f"  done: {w} / {s.value}", file=sys.stderr)
-    )
+    progress = lambda w, s, r: print(f"  done: {w} / {s.value}", file=sys.stderr)  # noqa: E731
+    if args.resume:
+        if not args.journal:
+            print("--resume requires --journal", file=sys.stderr)
+            return 2
+        runner.resume(progress=progress)
+    else:
+        runner.run_all(progress=progress)
     print(performance_report(runner, schemes))
     print()
     print(lifetime_report(runner, schemes))
+    if runner.failures:
+        print()
+        print(failure_report(runner))
     if args.output:
         runner.save_json(args.output)
         print(f"\nresults written to {args.output}")
-    return 0
+    # Degraded completion (some cells failed) still exits 0 — the sweep
+    # finished and reported; only a sweep with zero results is an error.
+    return 0 if runner.results else 1
 
 
 def cmd_sensitivity(args) -> int:
@@ -234,6 +263,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--schemes", nargs="*", default=None)
     p_sweep.add_argument("--workers", type=int, default=1)
     p_sweep.add_argument("--output", default=None, help="JSON output path")
+    p_sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock timeout in seconds (default: none)",
+    )
+    p_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries per failed job before it is recorded as failed",
+    )
+    p_sweep.add_argument(
+        "--journal",
+        default=None,
+        help="JSONL checkpoint journal; completed jobs are appended "
+        "atomically so an interrupted sweep can be resumed",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --journal, re-running only missing/failed jobs",
+    )
+    p_sweep.add_argument(
+        "--inject-faults",
+        nargs="*",
+        default=None,
+        metavar="KIND:TARGET[:MAX_FIRES]",
+        help="fault-injection drill: crash/hang/error/corrupt a job by "
+        "index or workload/scheme (e.g. crash:1, hang:GemsFDTD/rrm, "
+        "crash:0:1 for first-attempt-only)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_sens = sub.add_parser(

@@ -38,3 +38,30 @@ class RetentionViolationError(SimulationError):
     we raise (or record, depending on policy) so misconfigured systems are
     detected rather than silently losing data.
     """
+
+
+class ResilienceError(ReproError):
+    """Base class for experiment-orchestration failures.
+
+    These describe problems with *running* a job (worker processes,
+    checkpoints), not with the simulated system itself.
+    """
+
+
+class JobTimeoutError(ResilienceError):
+    """A supervised job exceeded its wall-clock timeout and was killed."""
+
+
+class JobCrashedError(ResilienceError):
+    """A worker process died (non-zero exit, signal, or closed pipe)
+    before delivering a result."""
+
+
+class CorruptResultError(JobCrashedError):
+    """A worker returned a payload that failed result validation."""
+
+
+class CheckpointCorruptError(ResilienceError):
+    """A results journal contains an unreadable record before its final
+    line (a truncated *final* line is expected after a crash and is
+    skipped, not an error)."""

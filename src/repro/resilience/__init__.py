@@ -1,0 +1,30 @@
+"""Resilient experiment orchestration.
+
+The pieces a long sweep needs to survive real infrastructure: supervised
+execution (per-job timeouts, bounded deterministic retries, worker-crash
+isolation), crash-safe JSONL checkpointing with resume, and a
+deterministic fault-injection harness used by tests and operational
+drills alike. See DESIGN.md, "Resilient sweeps".
+"""
+
+from repro.resilience.faultinject import FaultPlan, FaultSpec
+from repro.resilience.journal import JournalContents, ResultJournal
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.supervisor import (
+    FailedRun,
+    Job,
+    JobSupervisor,
+    run_with_retry,
+)
+
+__all__ = [
+    "FailedRun",
+    "FaultPlan",
+    "FaultSpec",
+    "Job",
+    "JobSupervisor",
+    "JournalContents",
+    "ResultJournal",
+    "RetryPolicy",
+    "run_with_retry",
+]

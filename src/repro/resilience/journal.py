@@ -1,0 +1,153 @@
+"""Crash-safe result journaling: append-only JSONL with atomic writes.
+
+One line per settled job (result or failure), preceded by a metadata
+line, so an interrupted sweep can resume from everything that completed.
+Durability model:
+
+- every append rewrites the journal to ``<path>.tmp`` and ``os.replace``s
+  it over the real file, so readers never observe a half-written journal
+  and a crash mid-append leaves the previous complete journal intact;
+- the loader still tolerates a truncated *final* line (e.g. a journal
+  written by a plain appender, or a torn filesystem) by dropping it,
+  because that line's job simply re-runs on resume;
+- an unreadable line anywhere *before* the end means real corruption and
+  raises :class:`~repro.errors.CheckpointCorruptError`.
+
+Record shapes::
+
+    {"type": "meta", "version": 1, "seed": ..., "workloads": [...], "schemes": [...]}
+    {"type": "result", "workload": w, "scheme": s, "result": {...}}
+    {"type": "failure", "workload": w, "scheme": s, "failure": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointCorruptError
+
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class JournalContents:
+    """Everything a journal load yields."""
+
+    meta: Optional[dict] = None
+    results: Dict[Tuple[str, str], dict] = field(default_factory=dict)
+    failures: Dict[Tuple[str, str], dict] = field(default_factory=dict)
+    #: True when a truncated final line was dropped.
+    truncated: bool = False
+
+
+class ResultJournal:
+    """An append-only JSONL journal of settled sweep jobs."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lines: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def start(self, meta: dict) -> None:
+        """Begin a fresh journal (truncates any existing file)."""
+        self._lines = [
+            json.dumps({"type": "meta", "version": JOURNAL_VERSION, **meta})
+        ]
+        self._flush()
+
+    def append_result(self, workload: str, scheme: str, result: dict) -> None:
+        self._append(
+            {"type": "result", "workload": workload, "scheme": scheme,
+             "result": result}
+        )
+
+    def append_failure(self, workload: str, scheme: str, failure: dict) -> None:
+        self._append(
+            {"type": "failure", "workload": workload, "scheme": scheme,
+             "failure": failure}
+        )
+
+    def _append(self, record: dict) -> None:
+        self._lines.append(json.dumps(record))
+        self._flush()
+
+    def _flush(self) -> None:
+        """Atomically persist the whole journal (tmp file + ``os.replace``)."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text("\n".join(self._lines) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> JournalContents:
+        """Parse a journal, tolerating a truncated final line.
+
+        Raises :class:`CheckpointCorruptError` for corruption anywhere
+        else, and ``FileNotFoundError`` if the journal does not exist.
+        """
+        text = Path(path).read_text(encoding="utf-8")
+        contents = JournalContents()
+        raw_lines = text.split("\n")
+        # A well-formed journal ends with a newline, so the final split
+        # element is empty; anything else is a torn trailing write.
+        if raw_lines and raw_lines[-1] == "":
+            raw_lines.pop()
+        for lineno, line in enumerate(raw_lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "type" not in record:
+                    raise ValueError("not a journal record")
+            except ValueError as exc:
+                if lineno == len(raw_lines) - 1:
+                    contents.truncated = True
+                    continue
+                raise CheckpointCorruptError(
+                    f"{path}: unreadable journal line {lineno + 1}: {exc}"
+                ) from None
+            kind = record["type"]
+            if kind == "meta":
+                contents.meta = record
+            elif kind == "result":
+                contents.results[(record["workload"], record["scheme"])] = (
+                    record["result"]
+                )
+            elif kind == "failure":
+                contents.failures[(record["workload"], record["scheme"])] = (
+                    record["failure"]
+                )
+            else:
+                raise CheckpointCorruptError(
+                    f"{path}: unknown journal record type {kind!r} "
+                    f"on line {lineno + 1}"
+                )
+        return contents
+
+    # ------------------------------------------------------------------
+    def resume_from(self, contents: JournalContents, meta: dict) -> None:
+        """Seed this journal with the surviving records of *contents*.
+
+        Failure records are dropped (their jobs re-run and re-journal),
+        result records are kept verbatim, and the file is rewritten
+        atomically so the on-disk journal matches the resumed sweep.
+        """
+        self._lines = [
+            json.dumps({"type": "meta", "version": JOURNAL_VERSION, **meta})
+        ]
+        for (workload, scheme), result in contents.results.items():
+            self._lines.append(
+                json.dumps(
+                    {"type": "result", "workload": workload, "scheme": scheme,
+                     "result": result}
+                )
+            )
+        self._flush()

@@ -14,6 +14,7 @@ With drift_scale == 1 these reduce to the plain per-second rates.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -145,6 +146,25 @@ class SimResult:
             f"fast%={100 * self.fast_write_fraction:5.1f}  "
             f"rdlat={self.avg_read_latency_ns:7.1f}ns"
         )
+
+    def to_json_dict(self) -> dict:
+        """Lossless JSON-able form; inverse of :meth:`from_json_dict`.
+
+        Unlike :meth:`as_dict` (a flat reporting view), this round-trips
+        every field so checkpoint journals can reconstruct the result.
+        """
+        d = dataclasses.asdict(self)
+        d["scheme"] = self.scheme.value
+        return d
+
+    @classmethod
+    def from_json_dict(cls, d: dict) -> "SimResult":
+        """Rebuild a result journaled by :meth:`to_json_dict`."""
+        d = dict(d)
+        d["scheme"] = Scheme(d["scheme"])
+        d["wear"] = WearReport(**d["wear"])
+        d["energy"] = EnergyReport(**d["energy"])
+        return cls(**d)
 
     def as_dict(self) -> dict:
         """Flat dict for JSON export / DataFrame assembly."""

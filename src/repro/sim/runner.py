@@ -1,18 +1,33 @@
 """Experiment orchestration: sweeps over workloads and schemes.
 
-Runs are independent, so the runner can optionally fan them out over a
-process pool. Results are keyed by ``(workload, scheme)`` and exposed with
-geometric-mean helpers matching the paper's reporting.
+Runs are independent, so the runner fans them out through the
+:mod:`repro.resilience` supervisor: each (workload, scheme) job gets a
+per-attempt wall-clock timeout, bounded deterministic retries, and crash
+isolation, so one bad job degrades to a structured :class:`FailedRun`
+instead of aborting the sweep. With a ``journal_path`` every settled job
+is checkpointed to an append-only JSONL journal, and :meth:`resume`
+restarts an interrupted sweep from its surviving results. Aggregation
+helpers follow the paper's reporting conventions and tolerate sweeps
+with failed cells.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import json
+import math
+import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.resilience import (
+    FailedRun,
+    FaultPlan,
+    Job,
+    JobSupervisor,
+    ResultJournal,
+    RetryPolicy,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
 from repro.sim.schemes import Scheme, all_schemes
@@ -38,16 +53,39 @@ def run_workload(
     return system.run(max_events=max_events)
 
 
-def _run_job(args) -> "tuple[str, str, SimResult]":
-    """Process-pool entry point (must be module-level for pickling)."""
-    config, workload, scheme_value, max_events = args
-    scheme = Scheme(scheme_value)
-    result = run_workload(config, workload, scheme, max_events=max_events)
-    return workload, scheme_value, result
+def _run_job(config, workload, scheme_value, max_events) -> SimResult:
+    """Supervised-job entry point (must be module-level for pickling)."""
+    return run_workload(
+        config, workload, Scheme(scheme_value), max_events=max_events
+    )
+
+
+def _validate_sim_result(key, value) -> Optional[str]:
+    """Result validation run supervisor-side; non-None marks corruption."""
+    workload, scheme_value = key
+    if not isinstance(value, SimResult):
+        return f"expected a SimResult, got {type(value).__name__}"
+    if value.workload != workload or value.scheme.value != scheme_value:
+        return (
+            f"result is for ({value.workload}, {value.scheme.value}), "
+            f"not ({workload}, {scheme_value})"
+        )
+    if not math.isfinite(value.ipc) or value.ipc < 0:
+        return f"non-finite or negative IPC: {value.ipc}"
+    return None
 
 
 class ExperimentRunner:
-    """Sweeps workloads x schemes and aggregates results."""
+    """Sweeps workloads x schemes and aggregates results.
+
+    Args:
+        timeout_s: optional per-attempt wall-clock limit per job.
+        retry: retry policy for failed jobs (default: 2 retries with
+            exponential backoff and seeded jitter).
+        journal_path: optional JSONL checkpoint journal; every settled
+            job is appended atomically so a crashed sweep can resume.
+        fault_plan: optional fault-injection plan (tests / drills).
+    """
 
     def __init__(
         self,
@@ -57,24 +95,50 @@ class ExperimentRunner:
         *,
         max_events: Optional[int] = None,
         n_workers: int = 1,
+        timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        journal_path=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if max_events is not None and max_events < 1:
+            raise ConfigError(f"max_events must be >= 1, got {max_events}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be positive, got {timeout_s}")
         self.config = config
         self.workloads = list(workloads) if workloads else all_workload_names()
         self.schemes = list(schemes) if schemes else all_schemes()
         self.max_events = max_events
-        self.n_workers = max(1, n_workers)
+        self.n_workers = n_workers
+        self.timeout_s = timeout_s
+        self.retry = retry or RetryPolicy()
+        self.journal_path = journal_path
+        self.fault_plan = fault_plan
         self.results: Dict[ResultKey, SimResult] = {}
+        self.failures: Dict[ResultKey, FailedRun] = {}
+        self._journal: Optional[ResultJournal] = None
 
     # ------------------------------------------------------------------
     def run_all(self, progress=None) -> Dict[ResultKey, SimResult]:
         """Run every (workload, scheme) pair not yet cached.
+
+        Results are harvested as jobs complete: the ``progress`` callback
+        fires in completion order and every finished result is in
+        ``self.results`` (and the journal) even if a later job fails. A
+        job that exhausts its retries lands in ``self.failures`` as a
+        :class:`FailedRun` instead of raising.
 
         Args:
             progress: Optional callable ``(workload, scheme, result)``
                 invoked after each run (e.g. to print a line).
         """
         jobs = [
-            (self.config, workload, scheme.value, self.max_events)
+            Job(
+                key=(workload, scheme.value),
+                fn=_run_job,
+                args=(self.config, workload, scheme.value, self.max_events),
+            )
             for workload in self.workloads
             for scheme in self.schemes
             if (workload, scheme) not in self.results
@@ -82,23 +146,83 @@ class ExperimentRunner:
         if not jobs:
             return self.results
 
-        if self.n_workers == 1:
-            for config, workload, scheme_value, max_events in jobs:
-                scheme = Scheme(scheme_value)
-                result = run_workload(
-                    config, workload, scheme, max_events=max_events
+        journal = self._ensure_journal()
+
+        def on_result(key, result) -> None:
+            workload, scheme_value = key
+            scheme = Scheme(scheme_value)
+            self.results[(workload, scheme)] = result
+            self.failures.pop((workload, scheme), None)
+            if journal is not None:
+                journal.append_result(
+                    workload, scheme_value, result.to_json_dict()
                 )
-                self.results[(workload, scheme)] = result
-                if progress is not None:
-                    progress(workload, scheme, result)
-        else:
-            with concurrent.futures.ProcessPoolExecutor(self.n_workers) as pool:
-                for workload, scheme_value, result in pool.map(_run_job, jobs):
-                    scheme = Scheme(scheme_value)
-                    self.results[(workload, scheme)] = result
-                    if progress is not None:
-                        progress(workload, scheme, result)
+            if progress is not None:
+                progress(workload, scheme, result)
+
+        def on_failure(failed: FailedRun) -> None:
+            workload, scheme_value = failed.key
+            self.failures[(workload, Scheme(scheme_value))] = failed
+            if journal is not None:
+                journal.append_failure(workload, scheme_value, failed.as_dict())
+
+        supervisor = JobSupervisor(
+            self.n_workers,
+            timeout_s=self.timeout_s,
+            retry=self.retry,
+            fault_plan=self.fault_plan,
+            seed=self.config.seed,
+            validate=_validate_sim_result,
+        )
+        supervisor.run(jobs, on_result=on_result, on_failure=on_failure)
         return self.results
+
+    def _ensure_journal(self) -> Optional[ResultJournal]:
+        """The active journal, starting a fresh one on first use."""
+        if self.journal_path is None:
+            return None
+        if self._journal is None:
+            self._journal = ResultJournal(self.journal_path)
+            self._journal.start(self._journal_meta())
+        return self._journal
+
+    def _journal_meta(self) -> dict:
+        return {
+            "seed": self.config.seed,
+            "workloads": list(self.workloads),
+            "schemes": [s.value for s in self.schemes],
+        }
+
+    # ------------------------------------------------------------------
+    def resume(self, path=None, progress=None) -> Dict[ResultKey, SimResult]:
+        """Restart an interrupted sweep from its checkpoint journal.
+
+        Loads every surviving result from *path* (default: this runner's
+        ``journal_path``), then runs only the missing pairs — jobs the
+        journal recorded as failed, jobs lost to a truncated final line,
+        and jobs never reached. Journaling continues into the same file.
+        """
+        path = path if path is not None else self.journal_path
+        if path is None:
+            raise ConfigError("resume() needs a journal path")
+        contents = ResultJournal.load(path)
+        domain = {
+            (w, s.value) for w in self.workloads for s in self.schemes
+        }
+        for (workload, scheme_value), record in contents.results.items():
+            if (workload, scheme_value) not in domain:
+                continue
+            result = SimResult.from_json_dict(record)
+            problem = _validate_sim_result((workload, scheme_value), result)
+            if problem is not None:
+                continue  # journaled garbage: just re-run the pair
+            self.results[(workload, Scheme(scheme_value))] = result
+        # Journaled failures are *not* preloaded into self.failures: their
+        # pairs are missing from self.results, so run_all re-runs them.
+        self.journal_path = path
+        self._journal = ResultJournal(path)
+        self._journal.resume_from(contents, self._journal_meta())
+        return self.run_all(progress=progress)
 
     # ------------------------------------------------------------------
     # Aggregation (the paper's reporting conventions)
@@ -107,34 +231,89 @@ class ExperimentRunner:
         try:
             return self.results[(workload, scheme)]
         except KeyError:
+            failed = self.failures.get((workload, scheme))
+            if failed is not None:
+                raise ConfigError(
+                    f"run for ({workload}, {scheme.value}) failed: "
+                    f"{failed.kind} — {failed.message}"
+                ) from None
             raise ConfigError(
                 f"no result for ({workload}, {scheme.value}); run run_all() first"
             ) from None
 
+    def has_result(self, workload: str, scheme: Scheme) -> bool:
+        return (workload, scheme) in self.results
+
+    def completed_workloads(self, *schemes: Scheme) -> List[str]:
+        """Workloads with a result under every given scheme, sweep order."""
+        return [
+            w
+            for w in self.workloads
+            if all((w, s) in self.results for s in schemes)
+        ]
+
     def ipc_series(self, scheme: Scheme) -> List[float]:
-        return [self.result(w, scheme).ipc for w in self.workloads]
+        """Per-workload IPC, skipping failed/missing cells."""
+        return [
+            self.results[(w, scheme)].ipc
+            for w in self.completed_workloads(scheme)
+        ]
 
     def normalized_ipc(self, scheme: Scheme, baseline: Scheme) -> List[float]:
-        """Per-workload IPC normalised to *baseline* (Figures 2 and 7)."""
+        """Per-workload IPC normalised to *baseline* (Figures 2 and 7).
+
+        Workloads missing either cell are skipped, so a sweep containing
+        failed runs still aggregates over its surviving pairs.
+        """
         return [
-            self.result(w, scheme).ipc / self.result(w, baseline).ipc
-            for w in self.workloads
+            self.results[(w, scheme)].ipc / self.results[(w, baseline)].ipc
+            for w in self.completed_workloads(scheme, baseline)
         ]
 
     def geomean_ipc(self, scheme: Scheme) -> float:
-        return geomean(self.ipc_series(scheme))
+        series = self.ipc_series(scheme)
+        return geomean(series) if series else float("nan")
 
     def geomean_speedup(self, scheme: Scheme, baseline: Scheme) -> float:
-        return geomean(self.normalized_ipc(scheme, baseline))
+        series = self.normalized_ipc(scheme, baseline)
+        return geomean(series) if series else float("nan")
 
     def lifetime_series(self, scheme: Scheme) -> List[float]:
-        return [self.result(w, scheme).lifetime_years for w in self.workloads]
+        return [
+            self.results[(w, scheme)].lifetime_years
+            for w in self.completed_workloads(scheme)
+        ]
 
     def geomean_lifetime(self, scheme: Scheme) -> float:
-        return geomean(self.lifetime_series(scheme))
+        series = self.lifetime_series(scheme)
+        return geomean(series) if series else float("nan")
 
     # ------------------------------------------------------------------
     def save_json(self, path) -> None:
-        """Persist all results as JSON (one record per run)."""
-        records = [result.as_dict() for result in self.results.values()]
-        Path(path).write_text(json.dumps(records, indent=2), encoding="utf-8")
+        """Persist all settled runs as JSON (one record per run).
+
+        Successful runs carry ``"status": "ok"``; failed runs appear as
+        ``"status": "failed"`` records with the failure's kind, message
+        and attempt count, so downstream tooling sees the full sweep
+        outcome. The write is atomic (tmp file + ``os.replace``) so a
+        mid-write crash cannot truncate an existing results file.
+        """
+        records = [
+            {"status": "ok", **result.as_dict()}
+            for result in self.results.values()
+        ]
+        records.extend(
+            {
+                "status": "failed",
+                "workload": workload,
+                "scheme": scheme.value,
+                "kind": failed.kind,
+                "message": failed.message,
+                "attempts": failed.attempts,
+            }
+            for (workload, scheme), failed in self.failures.items()
+        )
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(records, indent=2), encoding="utf-8")
+        os.replace(tmp, path)

@@ -23,6 +23,26 @@ class TestParser:
         assert args.workloads == ["hmmer", "mcf"]
         assert args.workers == 4
 
+    def test_sweep_resilience_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--timeout", "30", "--retries", "1",
+             "--journal", "j.jsonl", "--resume",
+             "--inject-faults", "crash:1", "hang:lbm/rrm:1"]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 1
+        assert args.journal == "j.jsonl"
+        assert args.resume
+        assert args.inject_faults == ["crash:1", "hang:lbm/rrm:1"]
+
+    def test_sweep_resilience_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.timeout is None
+        assert args.retries == 2
+        assert args.journal is None
+        assert not args.resume
+        assert args.inject_faults is None
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -90,3 +110,24 @@ class TestCommands:
         )
         assert code == 0
         assert out_file.exists()
+
+    def test_sweep_resume_requires_journal(self, capsys):
+        code = main(
+            ["sweep", "--config", "tiny", "--workloads", "hmmer",
+             "--schemes", "static-7", "--resume"]
+        )
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_sweep_with_injected_crash_degrades(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        code = main(
+            ["sweep", "--config", "tiny", "--workloads", "hmmer",
+             "--schemes", "static-7", "static-3", "--retries", "0",
+             "--inject-faults", "crash:1", "--journal", str(journal)]
+        )
+        assert code == 0  # degraded completion still succeeds
+        out = capsys.readouterr().out
+        assert "FAIL:crash" in out
+        assert "Failed runs" in out
+        assert journal.exists()
