@@ -28,9 +28,16 @@ from repro.sim import (
     SystemConfig,
     run_workload,
 )
+from repro.telemetry import (
+    MetricRegistry,
+    Profiler,
+    Telemetry,
+    TelemetryConfig,
+    Tracer,
+)
 from repro.workloads import BENCHMARKS, MIXES, get_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RRMConfig",
@@ -43,12 +50,17 @@ __all__ = [
     "FailedRun",
     "FaultPlan",
     "MemoryConfig",
+    "MetricRegistry",
+    "Profiler",
     "ResultJournal",
     "RetryPolicy",
     "Scheme",
     "SimResult",
     "System",
     "SystemConfig",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
     "run_workload",
     "BENCHMARKS",
     "MIXES",

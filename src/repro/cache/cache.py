@@ -77,6 +77,22 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish this cache's counters into a telemetry registry."""
+        for field_name in (
+            "read_hits",
+            "read_misses",
+            "write_hits",
+            "write_misses",
+            "writebacks",
+            "dirty_write_hits",
+        ):
+            registry.gauge(
+                f"{prefix}.{field_name}",
+                lambda f=field_name: getattr(self, f),
+            )
+        registry.derived(f"{prefix}.miss_rate", lambda: self.miss_rate)
+
 
 @dataclass
 class AccessResult:
@@ -250,6 +266,12 @@ class Cache:
     @property
     def occupancy(self) -> int:
         return sum(len(bucket) for bucket in self._sets)
+
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Publish stats plus live occupancy into a telemetry registry."""
+        prefix = prefix or f"cache.{self.config.name}"
+        self.stats.register_metrics(registry, prefix)
+        registry.gauge(f"{prefix}.occupancy", lambda: self.occupancy)
 
     def _allocate(self, set_index: int, block: int, dirty: bool) -> Optional[int]:
         bucket = self._sets[set_index]

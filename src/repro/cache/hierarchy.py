@@ -158,6 +158,30 @@ class CacheHierarchy:
             written.append(block)
         return written
 
+    def register_metrics(self, registry, prefix: str = "cache") -> None:
+        """Publish the hierarchy's counters into a telemetry registry.
+
+        Private levels aggregate across cores (``cache.l1.read_hits`` is
+        the sum over all L1Ds); the shared LLC registers its own counters
+        plus occupancy.
+        """
+        for level_name, caches in (("l1", self.l1), ("l2", self.l2)):
+            for field_name in (
+                "read_hits",
+                "read_misses",
+                "write_hits",
+                "write_misses",
+                "writebacks",
+                "dirty_write_hits",
+            ):
+                registry.gauge(
+                    f"{prefix}.{level_name}.{field_name}",
+                    lambda cs=caches, f=field_name: sum(
+                        getattr(c.stats, f) for c in cs
+                    ),
+                )
+        self.llc.register_metrics(registry, f"{prefix}.llc")
+
     def mpki(self, core_instructions: List[int]) -> float:
         """LLC misses per thousand instructions over the whole run."""
         total_instructions = sum(core_instructions)

@@ -71,3 +71,11 @@ class MSHRFile:
     def can_accept(self, block: int) -> bool:
         """Whether a miss to *block* can be tracked (free slot or merge)."""
         return block in self._outstanding or not self.full
+
+    def register_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Publish MSHR counters and occupancy into a telemetry registry."""
+        prefix = prefix or f"cache.{self.name}"
+        registry.gauge(f"{prefix}.allocations", lambda: self.allocations)
+        registry.gauge(f"{prefix}.merges", lambda: self.merges)
+        registry.gauge(f"{prefix}.peak_occupancy", lambda: self.peak_occupancy)
+        registry.gauge(f"{prefix}.occupancy", lambda: len(self._outstanding))

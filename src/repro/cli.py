@@ -16,6 +16,12 @@ Examples::
 
     # RRM storage-overhead table (paper Table VIII)
     repro-rrm table8
+
+    # Trace a run (Chrome-trace JSON, loadable in Perfetto / chrome://tracing)
+    repro-rrm run --workload GemsFDTD --trace out.json --metrics-interval 1ms
+
+    # Inspect a recorded trace
+    repro-rrm trace out.json
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.analysis.regions import RegionIntervalAnalyzer
 from repro.analysis.report import (
     failure_report,
@@ -32,13 +39,23 @@ from repro.analysis.report import (
     performance_report,
 )
 from repro.core.config import RRMConfig
+from repro.errors import ConfigError, TraceFormatError
 from repro.resilience import FaultPlan, RetryPolicy
 from repro.pcm.write_modes import WriteModeTable
 from repro.sim.config import SystemConfig
 from repro.sim.runner import ExperimentRunner, run_workload
 from repro.sim.schemes import Scheme, all_schemes, scheme_from_name
 from repro.sim.system import System
-from repro.utils.units import format_bytes, parse_size
+from repro.telemetry import (
+    TRACE_MODES,
+    TelemetryConfig,
+    Tracer,
+    format_summary,
+    load_trace,
+    summarize_trace,
+    validate_chrome_trace,
+)
+from repro.utils.units import format_bytes, parse_duration, parse_size
 from repro.workloads.mixes import all_workload_names
 
 
@@ -67,14 +84,91 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "telemetry",
+        "event tracing and periodic metric sampling; off by default "
+        "(zero overhead) and deterministic when on — a traced run "
+        "produces the same results as an untraced one",
+    )
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a trace; .json gets Chrome-trace format (Perfetto / "
+        "chrome://tracing), .jsonl gets one event per line",
+    )
+    group.add_argument(
+        "--metrics-interval",
+        default=None,
+        metavar="DURATION",
+        help="period of metric-snapshot counter events, e.g. 1ms, 250us "
+        "(simulated time; default 1ms when tracing)",
+    )
+    group.add_argument(
+        "--trace-mode",
+        choices=list(TRACE_MODES),
+        default="full",
+        help="memory bound: keep all events, a ring of the most recent, "
+        "or every Nth (default: full)",
+    )
+    group.add_argument(
+        "--trace-ring-size",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="event capacity in ring mode (default: 100000)",
+    )
+    group.add_argument(
+        "--trace-sample-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every Nth event in sample mode (default: 1)",
+    )
+
+
+def _telemetry_from_args(args) -> Optional[TelemetryConfig]:
+    """A TelemetryConfig when any telemetry flag was given, else None.
+
+    ``--trace`` alone implies periodic metric sampling at 1ms so the
+    exported trace carries counter tracks, not just spans.
+    """
+    if not getattr(args, "trace", None) and args.metrics_interval is None:
+        return None
+    interval = args.metrics_interval
+    if interval is None:
+        interval = "1ms"
+    return TelemetryConfig(
+        mode=args.trace_mode,
+        ring_size=args.trace_ring_size,
+        sample_every=args.trace_sample_every,
+        metrics_interval_s=parse_duration(interval),
+    )
+
+
 def cmd_run(args) -> int:
     config = _config_from_args(args)
     scheme = scheme_from_name(args.scheme)
-    result = run_workload(config, args.workload, scheme)
+    try:
+        telemetry = _telemetry_from_args(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    system = System(config, args.workload, scheme, telemetry=telemetry)
+    result = system.run()
     print(result.summary())
     if args.verbose:
         for key, value in sorted(result.as_dict().items()):
             print(f"  {key:28s} {value}")
+    if args.trace:
+        tracer = system.telemetry.tracer
+        tracer.export(args.trace)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(tracer.events())} events, {tracer.dropped} dropped)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -105,6 +199,8 @@ def cmd_sweep(args) -> int:
             f"  fault injection armed: {', '.join(args.inject_faults)}",
             file=sys.stderr,
         )
+    # A sweep spans processes, so its timeline is wall-clock, not sim time.
+    tracer = Tracer.wallclock() if args.trace else None
     runner = ExperimentRunner(
         config,
         workloads=workloads,
@@ -114,6 +210,7 @@ def cmd_sweep(args) -> int:
         retry=RetryPolicy(max_retries=args.retries),
         journal_path=args.journal,
         fault_plan=fault_plan,
+        **({"tracer": tracer} if tracer is not None else {}),
     )
     progress = lambda w, s, r: print(f"  done: {w} / {s.value}", file=sys.stderr)  # noqa: E731
     if args.resume:
@@ -132,6 +229,9 @@ def cmd_sweep(args) -> int:
     if args.output:
         runner.save_json(args.output)
         print(f"\nresults written to {args.output}")
+    if tracer is not None:
+        tracer.export(args.trace)
+        print(f"sweep trace written to {args.trace}", file=sys.stderr)
     # Degraded completion (some cells failed) still exits 0 — the sweep
     # finished and reported; only a sweep with zero results is an error.
     return 0 if runner.results else 1
@@ -215,6 +315,24 @@ def cmd_table3(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Summarise (and optionally validate) a recorded trace file."""
+    try:
+        events = load_trace(args.file)
+    except (TraceFormatError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(events)
+    print(format_summary(summarize_trace(events, top_spans=args.top)))
+    if problems:
+        print(f"\n{len(problems)} validation problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+    if args.check:
+        return 1 if problems else 0
+    return 0
+
+
 def cmd_table8(args) -> int:
     llc = parse_size(args.llc)
     base = RRMConfig()
@@ -242,6 +360,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-rrm",
         description="Region Retention Monitor for MLC PCM (HPCA 2017 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one workload under one scheme")
@@ -249,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--workload", default="GemsFDTD")
     p_run.add_argument("--scheme", default="rrm")
     p_run.add_argument("--verbose", action="store_true")
+    _add_telemetry(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare schemes on one workload")
@@ -295,6 +417,13 @@ def build_parser() -> argparse.ArgumentParser:
         "index or workload/scheme (e.g. crash:1, hang:GemsFDTD/rrm, "
         "crash:0:1 for first-attempt-only)",
     )
+    p_sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a wall-clock orchestration trace (job attempts, "
+        "retries, failures, journal appends) in Chrome-trace format",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_sens = sub.add_parser(
@@ -320,6 +449,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_t8 = sub.add_parser("table8", help="RRM storage-overhead table")
     p_t8.add_argument("--llc", default="6MB")
     p_t8.set_defaults(func=cmd_table8)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarise and validate a recorded trace file"
+    )
+    p_trace.add_argument("file", help="trace file (.json Chrome-trace or .jsonl)")
+    p_trace.add_argument(
+        "--top", type=int, default=10, help="longest spans to list (default: 10)"
+    )
+    p_trace.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if the file fails Chrome-trace validation",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -24,6 +24,7 @@ from repro.engine import Simulator
 from repro.errors import ConfigError
 from repro.memctrl.request import MemRequest, RequestType
 from repro.pcm.write_modes import WriteModeTable
+from repro.telemetry.trace import NULL_TRACER
 from repro.utils.units import s_to_ns
 
 
@@ -62,6 +63,30 @@ class RRMStats:
     def fast_write_fraction(self) -> float:
         return self.fast_decisions / self.decisions if self.decisions else 0.0
 
+    def register_metrics(self, registry, prefix: str = "rrm") -> None:
+        """Publish every monitor counter into a telemetry registry."""
+        for field_name in (
+            "registrations",
+            "clean_writes_filtered",
+            "promotions",
+            "demotions",
+            "renewals",
+            "evictions_with_fast_blocks",
+            "fast_decisions",
+            "slow_decisions",
+            "fast_refreshes_issued",
+            "slow_refreshes_issued",
+            "refresh_interrupts",
+            "decay_ticks",
+        ):
+            registry.gauge(
+                f"{prefix}.{field_name}",
+                lambda f=field_name: getattr(self, f),
+            )
+        registry.derived(
+            f"{prefix}.fast_write_fraction", lambda: self.fast_write_fraction
+        )
+
 
 class RegionRetentionMonitor:
     """Tracks region write hotness and directs write modes and refreshes.
@@ -83,11 +108,14 @@ class RegionRetentionMonitor:
         modes: WriteModeTable,
         sim: Optional[Simulator] = None,
         controller: Optional[RefreshSink] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.config = config
         self.modes = modes
         self.sim = sim
         self.controller = controller
+        #: Telemetry recorder; the shared no-op unless tracing is on.
+        self.tracer = tracer
         self.tags = RRMTagArray(config)
         self.stats = RRMStats()
 
@@ -146,6 +174,10 @@ class RegionRetentionMonitor:
 
         if entry.record_dirty_write(self.config.hot_threshold):
             self.stats.promotions += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "promotion", "monitor", args={"region": region}
+                )
         if entry.hot:
             entry.set_vector_bit(self.config.block_offset(block))
 
@@ -180,6 +212,7 @@ class RegionRetentionMonitor:
         deadline = None
         if self.sim is not None:
             deadline = self.sim.now + s_to_ns(self.refresh_slack_s)
+        issued_before = self.stats.fast_refreshes_issued
         for entry in self.tags.hot_entries():
             base_block = entry.region * self.config.blocks_per_region
             for offset in entry.short_retention_offsets():
@@ -189,6 +222,15 @@ class RegionRetentionMonitor:
                     rtype=RequestType.RRM_REFRESH,
                     deadline_ns=deadline,
                 )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "refresh_interrupt",
+                "monitor",
+                args={
+                    "interrupt": self.stats.refresh_interrupts,
+                    "refreshes": self.stats.fast_refreshes_issued - issued_before,
+                },
+            )
 
     # ------------------------------------------------------------------
     # Decay (Section IV-G)
@@ -214,6 +256,14 @@ class RegionRetentionMonitor:
         self.stats.demotions += 1
         base_block = entry.region * self.config.blocks_per_region
         offsets = list(entry.short_retention_offsets())
+        if self.tracer.enabled:
+            # Drift demotion: the entry went cold, so its short-retention
+            # blocks must be rewritten slow before drift expires them.
+            self.tracer.instant(
+                "demotion",
+                "monitor",
+                args={"region": entry.region, "rewrites": len(offsets)},
+            )
         entry.demote()
         for offset in offsets:
             self._queue_refresh(
@@ -231,6 +281,13 @@ class RegionRetentionMonitor:
         if victim.short_retention_vector == 0:
             return
         self.stats.evictions_with_fast_blocks += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "eviction",
+                "monitor",
+                args={"region": victim.region,
+                      "rewritten": self.config.refresh_on_eviction},
+            )
         if not self.config.refresh_on_eviction:
             return
         base_block = victim.region * self.config.blocks_per_region
@@ -303,3 +360,14 @@ class RegionRetentionMonitor:
     def pending_refresh_count(self) -> int:
         """Refreshes generated but not yet accepted by the controller."""
         return len(self._pending_refreshes)
+
+    def register_metrics(self, registry, prefix: str = "rrm") -> None:
+        """Publish monitor counters plus live queue state into *registry*."""
+        self.stats.register_metrics(registry, prefix)
+        registry.gauge(
+            f"{prefix}.pending_refreshes", lambda: len(self._pending_refreshes)
+        )
+        registry.gauge(f"{prefix}.tracked_regions", lambda: self.tags.occupancy)
+        registry.gauge(f"{prefix}.tag_lookups", lambda: self.tags.lookups)
+        registry.gauge(f"{prefix}.tag_hits", lambda: self.tags.hits)
+        registry.derived(f"{prefix}.tag_hit_rate", lambda: self.tags.hit_rate)

@@ -75,3 +75,22 @@ class Multicore:
         return {
             key: sum(getattr(core.stats, key) for core in self.cores) for key in keys
         }
+
+    def register_metrics(self, registry, prefix: str = "cpu") -> None:
+        """Publish aggregate core counters into a telemetry registry."""
+        for field_name in (
+            "retired_instructions",
+            "reads_issued",
+            "writes_issued",
+            "registrations",
+            "blocking_stalls",
+            "mlp_stalls",
+            "write_queue_stalls",
+            "read_queue_stalls",
+        ):
+            registry.gauge(
+                f"{prefix}.{field_name}",
+                lambda f=field_name: sum(
+                    getattr(core.stats, f) for core in self.cores
+                ),
+            )

@@ -51,6 +51,7 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
+        self._events_cancelled = 0
         self._running = False
         self._stopped = False
 
@@ -65,9 +66,27 @@ class Simulator:
         return self._events_processed
 
     @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled (processed, pending or cancelled)."""
+        return self._seq
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of cancelled events the run loop has discarded."""
+        return self._events_cancelled
+
+    @property
     def pending_events(self) -> int:
         """Number of queued (non-cancelled) events."""
         return sum(1 for e in self._queue if not e.cancelled)
+
+    def register_metrics(self, registry, prefix: str = "engine") -> None:
+        """Publish the engine's counters into a telemetry registry."""
+        registry.gauge(f"{prefix}.now_ns", lambda: self._now)
+        registry.gauge(f"{prefix}.events_processed", lambda: self._events_processed)
+        registry.gauge(f"{prefix}.events_scheduled", lambda: self._seq)
+        registry.gauge(f"{prefix}.events_cancelled", lambda: self._events_cancelled)
+        registry.gauge(f"{prefix}.pending_events", lambda: self.pending_events)
 
     def schedule_at(self, time: float, callback: EventCallback) -> Event:
         """Schedule *callback* at absolute *time* (ns). Returns the event."""
@@ -135,6 +154,7 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._events_cancelled += 1
                     continue
                 if until is not None and event.time > until:
                     break

@@ -32,6 +32,7 @@ from repro.memctrl.address_map import AddressMap
 from repro.memctrl.queues import QueueSet
 from repro.memctrl.request import MemRequest, RequestType
 from repro.pcm.device import PCMDevice
+from repro.telemetry.trace import NULL_TRACER
 
 
 @dataclass
@@ -67,6 +68,33 @@ class ControllerStats:
         accesses = self.row_hits + self.row_misses
         return self.row_hits / accesses if accesses else 0.0
 
+    def register_metrics(self, registry, prefix: str = "memctrl") -> None:
+        """Publish every counter (plus derived averages) into *registry*."""
+        for field_name in (
+            "reads_completed",
+            "writes_completed",
+            "rrm_refreshes_completed",
+            "rrm_slow_refreshes_completed",
+            "fast_writes",
+            "slow_writes",
+            "read_latency_sum_ns",
+            "write_latency_sum_ns",
+            "retention_violations",
+            "row_hits",
+            "row_misses",
+        ):
+            registry.gauge(
+                f"{prefix}.{field_name}",
+                lambda f=field_name: getattr(self, f),
+            )
+        registry.derived(
+            f"{prefix}.avg_read_latency_ns", lambda: self.avg_read_latency_ns
+        )
+        registry.derived(
+            f"{prefix}.avg_write_latency_ns", lambda: self.avg_write_latency_ns
+        )
+        registry.derived(f"{prefix}.row_hit_rate", lambda: self.row_hit_rate)
+
 
 CompletionListener = Callable[[MemRequest], None]
 
@@ -88,9 +116,12 @@ class MemoryController:
         write_queue_capacity: int = 64,
         write_drain_high: Optional[int] = None,
         write_drain_low: Optional[int] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.device = device
+        #: Telemetry recorder; the shared no-op unless tracing is on.
+        self.tracer = tracer
         self.address_map = address_map or AddressMap(
             n_channels=device.n_channels,
             banks_per_channel=device.banks_per_channel,
@@ -132,6 +163,9 @@ class MemoryController:
         #: Space waiters per (channel, request class name).
         self._space_waiters: Dict[Tuple[int, str], List[Callable[[], None]]] = {}
         self._completion_listeners: List[CompletionListener] = []
+        #: Optional latency histograms (telemetry detail metrics).
+        self._read_latency_hist = None
+        self._write_latency_hist = None
 
     # ------------------------------------------------------------------
     # Producer-facing API
@@ -139,6 +173,24 @@ class MemoryController:
     def add_completion_listener(self, listener: CompletionListener) -> None:
         """Register a callback fired on every request completion."""
         self._completion_listeners.append(listener)
+
+    def register_metrics(self, registry, *, detailed: bool = False) -> None:
+        """Publish controller stats and queue-depth gauges into *registry*.
+
+        With *detailed*, also installs service-latency histograms — those
+        record on every completion, so they are opt-in (telemetry on).
+        """
+        self.stats.register_metrics(registry)
+        registry.gauge("memctrl.pending_requests", self.pending_requests)
+        registry.gauge("memctrl.inflight_requests", self.inflight_requests)
+        if detailed:
+            bounds = [50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000]
+            self._read_latency_hist = registry.histogram(
+                "memctrl.read_latency_hist_ns", bounds
+            )
+            self._write_latency_hist = registry.histogram(
+                "memctrl.write_latency_hist_ns", bounds
+            )
 
     def channel_of(self, block: int) -> int:
         return self.address_map.channel_of_block(block)
@@ -323,17 +375,49 @@ class MemoryController:
         if request.rtype is RequestType.READ:
             self.stats.reads_completed += 1
             self.stats.read_latency_sum_ns += latency
+            if self._read_latency_hist is not None:
+                self._read_latency_hist.record(latency)
         elif request.rtype is RequestType.WRITE:
             self.stats.writes_completed += 1
             self.stats.write_latency_sum_ns += latency
+            if self._write_latency_hist is not None:
+                self._write_latency_hist.record(latency)
             self._count_write_mode(request)
         elif request.rtype is RequestType.RRM_REFRESH:
             self.stats.rrm_refreshes_completed += 1
         else:
             self.stats.rrm_slow_refreshes_completed += 1
 
-        if request.deadline_ns is not None and finish > request.deadline_ns:
+        violated = request.deadline_ns is not None and finish > request.deadline_ns
+        if violated:
             self.stats.retention_violations += 1
+
+        if self.tracer.enabled:
+            # One span per serviced request, laned by flat bank index so
+            # Perfetto shows per-bank occupancy; the queue wait rides in args.
+            start = request.start_time_ns
+            assert start is not None
+            self.tracer.complete(
+                request.rtype.value,
+                "memctrl",
+                start,
+                finish - start,
+                args={
+                    "block": request.block,
+                    "wait_ns": start - request.issue_time_ns,
+                    **({"n_sets": request.n_sets}
+                       if request.n_sets is not None else {}),
+                },
+                tid=request.bank_index,
+            )
+            if violated:
+                self.tracer.instant(
+                    "retention_violation",
+                    "memctrl",
+                    args={"block": request.block,
+                          "late_ns": finish - request.deadline_ns},
+                    tid=request.bank_index,
+                )
 
         if request.on_complete is not None:
             request.on_complete(finish)

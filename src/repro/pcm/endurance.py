@@ -97,6 +97,23 @@ class WearTracker:
         hottest = max(self.per_block.values()) if self.per_block else 0
         return hottest + self.uniform_wear
 
+    def register_metrics(self, registry, prefix: str = "pcm.wear") -> None:
+        """Publish wear counters into a telemetry registry."""
+        registry.gauge(
+            f"{prefix}.demand_writes", lambda: self.breakdown.demand_writes
+        )
+        registry.gauge(
+            f"{prefix}.rrm_refresh_writes",
+            lambda: self.breakdown.rrm_refresh_writes,
+        )
+        registry.gauge(
+            f"{prefix}.global_refresh_writes",
+            lambda: self.breakdown.global_refresh_writes,
+        )
+        registry.gauge(f"{prefix}.uniform_wear", lambda: self.uniform_wear)
+        registry.gauge(f"{prefix}.tracked_blocks", lambda: len(self.per_block))
+        registry.derived(f"{prefix}.total_writes", lambda: self.breakdown.total)
+
 
 @dataclass(frozen=True)
 class EnduranceModel:

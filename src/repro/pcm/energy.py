@@ -92,3 +92,17 @@ class EnergyModel:
     def _check_count(count: int) -> None:
         if count < 0:
             raise ValueError(f"negative operation count: {count}")
+
+    def register_metrics(self, registry, prefix: str = "pcm.energy") -> None:
+        """Publish the energy breakdown into a telemetry registry."""
+        for field_name in (
+            "write_energy",
+            "read_energy",
+            "rrm_refresh_energy",
+            "global_refresh_energy",
+        ):
+            registry.gauge(
+                f"{prefix}.{field_name}",
+                lambda f=field_name: getattr(self.breakdown, f),
+            )
+        registry.derived(f"{prefix}.total", lambda: self.breakdown.total)

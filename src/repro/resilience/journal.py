@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CheckpointCorruptError
+from repro.telemetry.trace import NULL_TRACER
 
 JOURNAL_VERSION = 1
 
@@ -45,10 +46,16 @@ class JournalContents:
 
 
 class ResultJournal:
-    """An append-only JSONL journal of settled sweep jobs."""
+    """An append-only JSONL journal of settled sweep jobs.
 
-    def __init__(self, path) -> None:
+    When a *tracer* is supplied, every append emits a ``journal.append``
+    instant event (category ``journal``) so sweep traces show exactly
+    when each record became durable.
+    """
+
+    def __init__(self, path, tracer=NULL_TRACER) -> None:
         self.path = Path(path)
+        self.tracer = tracer
         self._lines: List[str] = []
 
     # ------------------------------------------------------------------
@@ -76,6 +83,17 @@ class ResultJournal:
     def _append(self, record: dict) -> None:
         self._lines.append(json.dumps(record))
         self._flush()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "journal.append",
+                "journal",
+                args={
+                    "type": record["type"],
+                    "workload": record.get("workload"),
+                    "scheme": record.get("scheme"),
+                    "records": len(self._lines),
+                },
+            )
 
     def _flush(self) -> None:
         """Atomically persist the whole journal (tmp file + ``os.replace``)."""

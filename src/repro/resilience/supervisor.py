@@ -159,6 +159,12 @@ class JobSupervisor:
         validate: optional ``(key, value) -> Optional[str]``; a returned
             message marks the result corrupt (runs supervisor-side).
         sleep: injection point for tests; must accept seconds.
+        on_event: optional ``(name, args) -> None`` observability hook
+            fired on every lifecycle transition — ``job.attempt``,
+            ``job.result``, ``job.retry``, ``job.failed`` — with a dict
+            of the transition's details. Exceptions in the hook
+            propagate; keep it cheap and non-throwing (the sweep runner
+            forwards these to a wall-clock tracer).
     """
 
     def __init__(
@@ -171,6 +177,7 @@ class JobSupervisor:
         seed: int = 0,
         validate: Optional[Callable[[Tuple, object], Optional[str]]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        on_event: Optional[Callable[[str, dict], None]] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -183,7 +190,12 @@ class JobSupervisor:
         self.seed = seed
         self.validate = validate
         self._sleep = sleep
+        self.on_event = on_event
         self.retries_scheduled: List[Tuple[Tuple, int, float]] = []
+
+    def _emit(self, name: str, **args) -> None:
+        if self.on_event is not None:
+            self.on_event(name, args)
 
     # ------------------------------------------------------------------
     def run(
@@ -226,12 +238,16 @@ class JobSupervisor:
             attempt = 0
             while True:
                 attempt += 1
+                self._emit("job.attempt", key=list(job.key), attempt=attempt)
                 try:
                     value = job.fn(*job.args)
                     problem = self.validate(job.key, value) if self.validate else None
                     if problem is not None:
                         raise CorruptResultError(problem)
                     results[job.key] = value
+                    self._emit(
+                        "job.result", key=list(job.key), attempts=attempt
+                    )
                     if on_result:
                         on_result(job.key, value)
                     break
@@ -240,6 +256,13 @@ class JobSupervisor:
                     if self.retry.should_retry(attempt, error_type):
                         delay = self.retry.delay_s(job.key, attempt, self.seed)
                         self.retries_scheduled.append((job.key, attempt, delay))
+                        self._emit(
+                            "job.retry",
+                            key=list(job.key),
+                            attempt=attempt,
+                            delay_s=delay,
+                            error=error_type,
+                        )
                         self._sleep(delay)
                         continue
                     kind = (
@@ -253,6 +276,7 @@ class JobSupervisor:
                         elapsed_s=time.monotonic() - started,
                     )
                     failures[job.key] = failed
+                    self._emit("job.failed", **failed.as_dict())
                     if on_failure:
                         on_failure(failed)
                     break
@@ -277,6 +301,13 @@ class JobSupervisor:
                 self.retries_scheduled.append(
                     (entry.job.key, entry.attempt, delay)
                 )
+                self._emit(
+                    "job.retry",
+                    key=list(entry.job.key),
+                    attempt=entry.attempt,
+                    delay_s=delay,
+                    error=error_type,
+                )
                 pending.append(
                     _Attempt(
                         job=entry.job,
@@ -294,6 +325,7 @@ class JobSupervisor:
                 elapsed_s=time.monotonic() - (entry.first_started or 0.0),
             )
             failures[entry.job.key] = failed
+            self._emit("job.failed", **failed.as_dict())
             if on_failure:
                 on_failure(failed)
 
@@ -363,6 +395,7 @@ class JobSupervisor:
         )
         if entry.first_started is None:
             entry.first_started = now
+        self._emit("job.attempt", key=list(entry.job.key), attempt=entry.attempt)
         process.start()
         child_conn.close()
         deadline = None if self.timeout_s is None else now + self.timeout_s
@@ -391,6 +424,9 @@ class JobSupervisor:
                 settle(entry, "corrupt", "CorruptResultError", problem)
                 return
             results[entry.job.key] = payload
+            self._emit(
+                "job.result", key=list(entry.job.key), attempts=entry.attempt
+            )
             if on_result:
                 on_result(entry.job.key, payload)
         elif status == "error":

@@ -32,6 +32,8 @@ from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
 from repro.sim.schemes import Scheme, all_schemes
 from repro.sim.system import System
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.trace import NULL_TRACER
 from repro.utils.mathx import geomean
 from repro.workloads.mixes import all_workload_names
 
@@ -45,10 +47,15 @@ def run_workload(
     *,
     track_wear_per_block: bool = False,
     max_events: Optional[int] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> SimResult:
     """Build and run one system; the basic unit of every experiment."""
     system = System(
-        config, workload, scheme, track_wear_per_block=track_wear_per_block
+        config,
+        workload,
+        scheme,
+        track_wear_per_block=track_wear_per_block,
+        telemetry=telemetry,
     )
     return system.run(max_events=max_events)
 
@@ -85,6 +92,10 @@ class ExperimentRunner:
         journal_path: optional JSONL checkpoint journal; every settled
             job is appended atomically so a crashed sweep can resume.
         fault_plan: optional fault-injection plan (tests / drills).
+        tracer: optional wall-clock :class:`~repro.telemetry.Tracer`
+            (``Tracer.wallclock()``); job lifecycle transitions and
+            journal appends are recorded as instant events (category
+            ``sweep`` / ``journal``), giving an orchestration timeline.
     """
 
     def __init__(
@@ -99,6 +110,7 @@ class ExperimentRunner:
         retry: Optional[RetryPolicy] = None,
         journal_path=None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -115,9 +127,14 @@ class ExperimentRunner:
         self.retry = retry or RetryPolicy()
         self.journal_path = journal_path
         self.fault_plan = fault_plan
+        self.tracer = tracer
         self.results: Dict[ResultKey, SimResult] = {}
         self.failures: Dict[ResultKey, FailedRun] = {}
         self._journal: Optional[ResultJournal] = None
+
+    def _on_supervisor_event(self, name: str, args: dict) -> None:
+        """Forward supervisor lifecycle transitions to the sweep tracer."""
+        self.tracer.instant(name, "sweep", args=args)
 
     # ------------------------------------------------------------------
     def run_all(self, progress=None) -> Dict[ResultKey, SimResult]:
@@ -173,6 +190,9 @@ class ExperimentRunner:
             fault_plan=self.fault_plan,
             seed=self.config.seed,
             validate=_validate_sim_result,
+            on_event=(
+                self._on_supervisor_event if self.tracer.enabled else None
+            ),
         )
         supervisor.run(jobs, on_result=on_result, on_failure=on_failure)
         return self.results
@@ -182,7 +202,7 @@ class ExperimentRunner:
         if self.journal_path is None:
             return None
         if self._journal is None:
-            self._journal = ResultJournal(self.journal_path)
+            self._journal = ResultJournal(self.journal_path, tracer=self.tracer)
             self._journal.start(self._journal_meta())
         return self._journal
 
@@ -220,7 +240,7 @@ class ExperimentRunner:
         # Journaled failures are *not* preloaded into self.failures: their
         # pairs are missing from self.results, so run_all re-runs them.
         self.journal_path = path
-        self._journal = ResultJournal(path)
+        self._journal = ResultJournal(path, tracer=self.tracer)
         self._journal.resume_from(contents, self._journal_meta())
         return self.run_all(progress=progress)
 

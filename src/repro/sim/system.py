@@ -26,6 +26,7 @@ from repro.pcm.write_modes import WriteModeTable
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import EnergyReport, SimResult, WearReport
 from repro.sim.schemes import Scheme
+from repro.telemetry import Telemetry, TelemetryConfig
 from repro.utils.units import s_to_ns
 from repro.workloads.mixes import workload_profiles
 from repro.workloads.synthetic import BLOCKS_PER_REGION, RegionTrafficGenerator
@@ -43,6 +44,7 @@ class System:
         track_wear_per_block: bool = False,
         write_trace_sink=None,
         monitor_factory=None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         """
         Args:
@@ -58,11 +60,16 @@ class System:
                 -> monitor`` replacing the stock RegionRetentionMonitor
                 when the scheme is RRM — the extension point used by the
                 tiered multi-mode monitor.
+            telemetry: Observability switches; None keeps the no-op
+                tracer and the run byte-identical to an uninstrumented
+                one. Metrics always harvest through the registry either
+                way.
         """
         self.config = config
         self.workload = workload
         self.scheme = scheme
         self.sim = Simulator()
+        self.telemetry = Telemetry(telemetry, clock=lambda: self.sim.now)
 
         # --- PCM substrate ------------------------------------------------
         drift = DriftModel(DriftParameters(drift_scale=config.drift_scale))
@@ -83,6 +90,7 @@ class System:
             refresh_queue_capacity=config.memory.refresh_queue_capacity,
             read_queue_capacity=config.memory.read_queue_capacity,
             write_queue_capacity=config.memory.write_queue_capacity,
+            tracer=self.telemetry.tracer,
         )
         self.wear = WearTracker(track_per_block=track_wear_per_block)
         self.energy = EnergyModel(modes=self.modes)
@@ -100,7 +108,11 @@ class System:
                 self.rrm = monitor_factory(self.modes, self.sim, self.controller)
             else:
                 self.rrm = RegionRetentionMonitor(
-                    config.rrm, self.modes, sim=self.sim, controller=self.controller
+                    config.rrm,
+                    self.modes,
+                    sim=self.sim,
+                    controller=self.controller,
+                    tracer=self.telemetry.tracer,
                 )
             chooser = self.rrm.decide_write_mode
             register_sink = self.rrm.register_llc_write
@@ -122,6 +134,24 @@ class System:
             seed=config.seed,
         )
         self._ran = False
+        self._register_metrics()
+
+    # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        """Wire every subsystem into the run's metric registry.
+
+        All registrations are pull gauges over existing stats objects, so
+        this is one-time wiring with zero hot-path cost; ``_finalize``
+        harvests results through ``registry.snapshot()``.
+        """
+        registry = self.telemetry.registry
+        self.sim.register_metrics(registry)
+        self.controller.register_metrics(registry, detailed=self.telemetry.detailed)
+        self.multicore.register_metrics(registry)
+        self.wear.register_metrics(registry)
+        self.energy.register_metrics(registry)
+        if self.rrm is not None and hasattr(self.rrm, "register_metrics"):
+            self.rrm.register_metrics(registry)
 
     # ------------------------------------------------------------------
     def _build_streams(self) -> List:
@@ -171,12 +201,34 @@ class System:
         self._ran = True
         started = time.perf_counter()
 
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            for bank in range(self.device.n_banks):
+                telemetry.tracer.set_thread_name(bank, f"bank{bank}")
+        tcfg = telemetry.config
+        if tcfg is not None and tcfg.metrics_interval_s is not None:
+            telemetry.make_profiler(
+                self.sim, s_to_ns(tcfg.metrics_interval_s)
+            ).start()
+
         if self.rrm is not None:
             self.rrm.start()
         self.multicore.start()
         duration_ns = s_to_ns(self.config.duration_s)
         self.sim.run(until=duration_ns, max_events=max_events)
 
+        if telemetry.enabled:
+            telemetry.tracer.complete(
+                "run",
+                "engine",
+                0.0,
+                self.sim.now,
+                args={
+                    "workload": self.workload,
+                    "scheme": self.scheme.value,
+                    "events": self.sim.events_processed,
+                },
+            )
         return self._finalize(time.perf_counter() - started)
 
     # ------------------------------------------------------------------
@@ -184,7 +236,12 @@ class System:
         config = self.config
         duration_s = config.duration_s
         duration_ns = s_to_ns(duration_s)
-        stats = self.controller.stats
+        # Uniform harvest: every counter below reaches the result through
+        # the registry's pull gauges, so the SimResult and any telemetry
+        # consumer (profiler samples, `repro-rrm trace`) see one source of
+        # truth. Gauges read the live stats objects, so values are
+        # identical to direct attribute access.
+        snap = self.telemetry.registry.snapshot()
 
         result = SimResult(
             scheme=self.scheme,
@@ -196,33 +253,39 @@ class System:
         result.wall_time_s = wall_time_s
         result.per_core_ipc = self.multicore.per_core_ipc(duration_ns)
         result.ipc = self.multicore.aggregate_ipc(duration_ns)
-        result.instructions = self.multicore.total_instructions()
-        result.reads = stats.reads_completed
-        result.writes = stats.writes_completed
-        result.fast_writes = stats.fast_writes
-        result.slow_writes = stats.slow_writes
-        result.rrm_fast_refreshes = stats.rrm_refreshes_completed
-        result.rrm_slow_refreshes = stats.rrm_slow_refreshes_completed
-        result.retention_violations = stats.retention_violations
-        result.avg_read_latency_ns = stats.avg_read_latency_ns
-        result.avg_write_latency_ns = stats.avg_write_latency_ns
-        result.row_hit_rate = stats.row_hit_rate
-        result.stalls = self.multicore.stall_summary()
+        result.instructions = snap["cpu.retired_instructions"]
+        result.reads = snap["memctrl.reads_completed"]
+        result.writes = snap["memctrl.writes_completed"]
+        result.fast_writes = snap["memctrl.fast_writes"]
+        result.slow_writes = snap["memctrl.slow_writes"]
+        result.rrm_fast_refreshes = snap["memctrl.rrm_refreshes_completed"]
+        result.rrm_slow_refreshes = snap["memctrl.rrm_slow_refreshes_completed"]
+        result.retention_violations = snap["memctrl.retention_violations"]
+        result.avg_read_latency_ns = snap["memctrl.avg_read_latency_ns"]
+        result.avg_write_latency_ns = snap["memctrl.avg_write_latency_ns"]
+        result.row_hit_rate = snap["memctrl.row_hit_rate"]
+        result.stalls = {
+            key: snap[f"cpu.{key}"]
+            for key in (
+                "blocking_stalls",
+                "mlp_stalls",
+                "write_queue_stalls",
+                "read_queue_stalls",
+            )
+        }
         if self.rrm is not None:
             result.rrm_stats = asdict(self.rrm.stats)
 
-        result.wear = self._wear_report()
-        result.energy = self._energy_report(result.wear)
+        result.wear = self._wear_report(snap)
+        result.energy = self._energy_report(snap, result.wear)
         result.compute_lifetime(self.endurance)
         return result
 
-    def _wear_report(self) -> WearReport:
+    def _wear_report(self, snap) -> WearReport:
         """Wear rates on the paper's timescale (see metrics module docs)."""
         config = self.config
         duration_s = config.duration_s
         virtual_s = config.virtual_duration_s
-        breakdown = self.wear.breakdown
-        stats = self.controller.stats
 
         # Global refresh: every block, once per real (unscaled) interval of
         # the scheme's global-refresh mode.
@@ -232,24 +295,25 @@ class System:
         global_rate = config.memory.n_blocks / interval_real
 
         return WearReport(
-            demand_rate=breakdown.demand_writes / duration_s,
-            rrm_fast_refresh_rate=stats.rrm_refreshes_completed / virtual_s,
-            rrm_slow_refresh_rate=stats.rrm_slow_refreshes_completed / virtual_s,
+            demand_rate=snap["pcm.wear.demand_writes"] / duration_s,
+            rrm_fast_refresh_rate=snap["memctrl.rrm_refreshes_completed"] / virtual_s,
+            rrm_slow_refresh_rate=(
+                snap["memctrl.rrm_slow_refreshes_completed"] / virtual_s
+            ),
             global_refresh_rate=global_rate,
         )
 
-    def _energy_report(self, wear: WearReport) -> EnergyReport:
+    def _energy_report(self, snap, wear: WearReport) -> EnergyReport:
         config = self.config
         duration_s = config.duration_s
         virtual_s = config.virtual_duration_s
-        breakdown = self.energy.breakdown
 
         global_mode = self._real_modes.mode(self.scheme.global_refresh_n_sets)
         global_energy_rate = wear.global_refresh_rate * global_mode.normalized_energy
 
         return EnergyReport(
-            write_rate=breakdown.write_energy / duration_s,
-            read_rate=breakdown.read_energy / duration_s,
-            rrm_refresh_rate=breakdown.rrm_refresh_energy / virtual_s,
+            write_rate=snap["pcm.energy.write_energy"] / duration_s,
+            read_rate=snap["pcm.energy.read_energy"] / duration_s,
+            rrm_refresh_rate=snap["pcm.energy.rrm_refresh_energy"] / virtual_s,
             global_refresh_rate=global_energy_rate,
         )

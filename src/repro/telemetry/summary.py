@@ -1,0 +1,196 @@
+"""Trace-file loading, validation and summarisation.
+
+Backs the ``repro-rrm trace`` subcommand and the CI smoke job: load a
+trace produced by :class:`~repro.telemetry.trace.Tracer` (Chrome JSON or
+JSONL), check it against the subset of the Chrome Trace Event Format we
+emit, and print a human-readable digest (event counts per category,
+time range, longest spans, counter series).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TraceFormatError
+from repro.telemetry.trace import (
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_INSTANT,
+    PH_METADATA,
+)
+
+_KNOWN_PHASES = {PH_COMPLETE, PH_COUNTER, PH_INSTANT, PH_METADATA}
+
+
+def load_trace(path) -> List[dict]:
+    """Load trace events from a Chrome JSON or JSONL file.
+
+    Chrome files yield events with microsecond ``ts``; JSONL files carry
+    nanosecond ``ts_ns`` records, which are converted to the same shape
+    so summaries work on either. Raises :class:`TraceFormatError` on
+    unparseable input.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".jsonl":
+        events = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"{path}: bad JSONL line {lineno}: {exc}"
+                ) from None
+            event = {
+                "name": record.get("name"),
+                "cat": record.get("cat", ""),
+                "ph": record.get("ph"),
+                "ts": record.get("ts_ns", 0.0) / 1000.0,
+                "pid": 1,
+                "tid": record.get("tid", 0),
+            }
+            if "dur_ns" in record:
+                event["dur"] = record["dur_ns"] / 1000.0
+            if "args" in record:
+                event["args"] = record["args"]
+            events.append(event)
+        return events
+    try:
+        obj = json.loads(text)
+    except ValueError as exc:
+        raise TraceFormatError(f"{path}: not valid JSON: {exc}") from None
+    if isinstance(obj, list):  # bare traceEvents array form
+        return obj
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise TraceFormatError(f"{path}: no traceEvents array")
+    return obj["traceEvents"]
+
+
+def validate_chrome_trace(events: List[dict]) -> List[str]:
+    """Check *events* against the Chrome Trace Event Format subset we
+    emit; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    if not events:
+        problems.append("trace contains no events")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"event {i}: missing name")
+        if ph == PH_METADATA:
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"event {i}: missing numeric ts")
+        if ph == PH_COMPLETE:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: complete event needs dur >= 0")
+        if ph == PH_COUNTER and not isinstance(event.get("args"), dict):
+            problems.append(f"event {i}: counter event needs args")
+        if len(problems) >= 20:
+            problems.append("... (further problems suppressed)")
+            break
+    return problems
+
+
+@dataclass
+class TraceSummary:
+    """Digest of one trace file."""
+
+    n_events: int = 0
+    t_min_us: float = 0.0
+    t_max_us: float = 0.0
+    by_phase: Dict[str, int] = field(default_factory=dict)
+    by_category: Dict[str, int] = field(default_factory=dict)
+    #: (dur_us, name, cat, ts_us) of the longest complete events.
+    longest_spans: List[Tuple[float, str, str, float]] = field(
+        default_factory=list
+    )
+    counter_series: Dict[str, List[str]] = field(default_factory=dict)
+    dropped_events: Optional[int] = None
+
+    @property
+    def duration_us(self) -> float:
+        return max(0.0, self.t_max_us - self.t_min_us)
+
+
+def summarize_trace(events: List[dict], top_spans: int = 10) -> TraceSummary:
+    """Aggregate a loaded trace into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    phases: TallyCounter = TallyCounter()
+    cats: TallyCounter = TallyCounter()
+    spans: List[Tuple[float, str, str, float]] = []
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    for event in events:
+        ph = event.get("ph")
+        if ph == PH_METADATA:
+            continue
+        summary.n_events += 1
+        phases[ph] += 1
+        cats[event.get("cat", "default")] += 1
+        ts = event.get("ts", 0.0)
+        end = ts
+        if ph == PH_COMPLETE:
+            end = ts + event.get("dur", 0.0)
+            spans.append(
+                (event.get("dur", 0.0), event.get("name", "?"),
+                 event.get("cat", "default"), ts)
+            )
+        elif ph == PH_COUNTER:
+            series = summary.counter_series.setdefault(
+                event.get("name", "?"), []
+            )
+            for key in (event.get("args") or {}):
+                if key not in series:
+                    series.append(key)
+        t_min = ts if t_min is None else min(t_min, ts)
+        t_max = end if t_max is None else max(t_max, end)
+    if t_min is not None:
+        summary.t_min_us = t_min
+        summary.t_max_us = t_max
+    summary.by_phase = dict(phases)
+    summary.by_category = dict(cats)
+    summary.longest_spans = sorted(spans, reverse=True)[:top_spans]
+    return summary
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Render a :class:`TraceSummary` as the ``trace`` subcommand output."""
+    lines = [
+        f"events          {summary.n_events}",
+        f"time range      {summary.t_min_us:.3f} .. {summary.t_max_us:.3f} us "
+        f"({summary.duration_us / 1000.0:.3f} ms)",
+        "phases          "
+        + ", ".join(
+            f"{ph}={n}" for ph, n in sorted(summary.by_phase.items())
+        ),
+        "categories:",
+    ]
+    for cat, n in sorted(summary.by_category.items()):
+        lines.append(f"  {cat:<14} {n}")
+    if summary.counter_series:
+        lines.append("counter tracks:")
+        for name, series in sorted(summary.counter_series.items()):
+            shown = ", ".join(series[:6]) + (", ..." if len(series) > 6 else "")
+            lines.append(f"  {name:<14} [{shown}]")
+    if summary.longest_spans:
+        lines.append("longest spans:")
+        for dur, name, cat, ts in summary.longest_spans:
+            lines.append(
+                f"  {dur:10.3f} us  {name:<18} cat={cat:<10} at {ts:.3f} us"
+            )
+    return "\n".join(lines)

@@ -32,6 +32,43 @@ def s_to_ns(seconds: float) -> float:
     return seconds * NS_PER_S
 
 
+_TIME_SUFFIXES = {
+    "ns": 1e-9,
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+}
+
+
+def parse_duration(text: "str | float | int") -> float:
+    """Parse a human-readable duration such as ``"1ms"`` into seconds.
+
+    Bare numbers (or numeric strings) are taken as seconds, matching the
+    simulator's external unit.
+
+    >>> parse_duration("1ms")
+    0.001
+    >>> parse_duration("250us")
+    0.00025
+    >>> parse_duration(2)
+    2.0
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    raw = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_TIME_SUFFIXES, key=len, reverse=True):
+        if raw.endswith(suffix):
+            number = raw[: -len(suffix)]
+            break
+    else:
+        number, suffix = raw, "s"
+    try:
+        value = float(number)
+    except ValueError as exc:
+        raise ConfigError(f"unparseable duration: {text!r}") from exc
+    return value * _TIME_SUFFIXES[suffix]
+
+
 def parse_size(text: "str | int") -> int:
     """Parse a human-readable size such as ``"8GB"`` or ``"64"`` into bytes.
 

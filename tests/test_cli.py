@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -42,6 +45,42 @@ class TestParser:
         assert args.journal is None
         assert not args.resume
         assert args.inject_faults is None
+        assert args.trace is None
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_run_telemetry_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace is None
+        assert args.metrics_interval is None
+        assert args.trace_mode == "full"
+        assert args.trace_ring_size == 100_000
+        assert args.trace_sample_every == 1
+
+    def test_run_telemetry_options(self):
+        args = build_parser().parse_args(
+            ["run", "--trace", "out.json", "--metrics-interval", "250us",
+             "--trace-mode", "ring", "--trace-ring-size", "500"]
+        )
+        assert args.trace == "out.json"
+        assert args.metrics_interval == "250us"
+        assert args.trace_mode == "ring"
+        assert args.trace_ring_size == 500
+
+    def test_run_help_mentions_telemetry(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--help"])
+        assert "telemetry" in capsys.readouterr().out
+
+    def test_trace_subcommand_options(self):
+        args = build_parser().parse_args(["trace", "t.json", "--check"])
+        assert args.file == "t.json"
+        assert args.check
+        assert args.top == 10
 
 
 class TestCommands:
@@ -131,3 +170,54 @@ class TestCommands:
         assert "FAIL:crash" in out
         assert "Failed runs" in out
         assert journal.exists()
+
+    def test_run_with_trace(self, capsys, tmp_path):
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            ["run", "--config", "tiny", "--workload", "hmmer",
+             "--scheme", "rrm", "--trace", str(trace_file)]
+        )
+        assert code == 0
+        assert "trace written" in capsys.readouterr().err
+        raw = json.loads(trace_file.read_text())
+        assert raw["traceEvents"]
+        categories = {
+            e.get("cat") for e in raw["traceEvents"] if e["ph"] != "M"
+        }
+        assert len(categories) >= 4
+
+    def test_run_rejects_bad_metrics_interval(self, capsys, tmp_path):
+        code = main(
+            ["run", "--config", "tiny", "--trace", str(tmp_path / "t.json"),
+             "--metrics-interval", "sometimes"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_summary_round_trip(self, capsys, tmp_path):
+        trace_file = tmp_path / "trace.json"
+        assert main(
+            ["run", "--config", "tiny", "--workload", "hmmer",
+             "--trace", str(trace_file)]
+        ) == 0
+        capsys.readouterr()
+        code = main(["trace", str(trace_file), "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "categories:" in out and "memctrl" in out
+
+    def test_trace_missing_file(self, capsys):
+        code = main(["trace", "/nonexistent/trace.json"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_with_trace(self, capsys, tmp_path):
+        trace_file = tmp_path / "sweep.json"
+        code = main(
+            ["sweep", "--config", "tiny", "--workloads", "hmmer",
+             "--schemes", "static-7", "--trace", str(trace_file)]
+        )
+        assert code == 0
+        raw = json.loads(trace_file.read_text())
+        names = {e["name"] for e in raw["traceEvents"]}
+        assert "job.attempt" in names and "job.result" in names
