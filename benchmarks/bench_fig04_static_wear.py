@@ -8,7 +8,7 @@ becomes the dominant component for Static-4 and Static-3.
 from benchmarks.common import workloads_under_test, write_report
 from repro.analysis.report import wear_report
 from repro.sim.runner import ExperimentRunner
-from repro.sim.schemes import Scheme, static_schemes
+from repro.sim.schemes import static_schemes
 
 
 def bench_fig04_static_wear(sweep, benchmark):

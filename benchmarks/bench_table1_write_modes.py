@@ -30,7 +30,7 @@ def bench_table1_write_modes(benchmark):
         assert mode.set_current_ua == current
         assert mode.normalized_energy == pytest.approx(energy)
         assert mode.retention_s == pytest.approx(retention, rel=0.005)
-        assert mode.latency_ns == latency
+        assert mode.latency_ns == pytest.approx(latency)
         rows.append([
             mode.name,
             f"{mode.set_current_ua:.0f}",

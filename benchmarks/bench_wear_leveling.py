@@ -12,8 +12,6 @@ hottest block), and Start-Gap recovers most of the ideal lifetime, with
 smaller gap intervals levelling better at a higher write overhead.
 """
 
-import itertools
-import random
 
 from benchmarks.common import write_report
 from repro.analysis.report import format_table

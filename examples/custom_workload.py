@@ -12,7 +12,6 @@ Run:  python examples/custom_workload.py [--tiny]
 """
 
 import argparse
-import dataclasses
 import itertools
 import tempfile
 from pathlib import Path

@@ -17,6 +17,7 @@ from repro import Scheme, SystemConfig
 from repro.analysis.regions import RegionIntervalAnalyzer
 from repro.analysis.report import format_table
 from repro.sim.system import System
+from repro.utils.units import s_to_ns
 
 
 def main() -> None:
@@ -50,7 +51,7 @@ def main() -> None:
                f"timescale)"),
     ))
 
-    share = analyzer.hot_write_share(interval_cutoff_ns=1e8)
+    share = analyzer.hot_write_share(interval_cutoff_ns=s_to_ns(0.1))
     pct_regions = 100.0 * analyzer.regions_written / (
         config.memory.size_bytes // 4096
     )

@@ -39,11 +39,12 @@ from repro.analysis.report import (
     performance_report,
 )
 from repro.core.config import RRMConfig
-from repro.errors import ConfigError, TraceFormatError
+from repro.errors import ConfigError, ReproError, TraceFormatError
+from repro.lint import render_json, render_text, run_lint
 from repro.resilience import FaultPlan, RetryPolicy
 from repro.pcm.write_modes import WriteModeTable
 from repro.sim.config import SystemConfig
-from repro.sim.runner import ExperimentRunner, run_workload
+from repro.sim.runner import ExperimentRunner
 from repro.sim.schemes import Scheme, all_schemes, scheme_from_name
 from repro.sim.system import System
 from repro.telemetry import (
@@ -333,6 +334,35 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the simulator-invariant static analyzer (repro.lint).
+
+    Exit codes follow the CLI convention: 0 clean, 1 findings (errors;
+    with --strict, warnings too), 2 usage or internal error.
+    """
+    try:
+        report = run_lint(
+            paths=args.paths or None,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        print(
+            f"baseline written to {report.baseline_path} "
+            f"({len(report.baselined)} finding(s) accepted)",
+            file=sys.stderr,
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_table8(args) -> int:
     llc = parse_size(args.llc)
     base = RRMConfig()
@@ -449,6 +479,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_t8 = sub.add_parser("table8", help="RRM storage-overhead table")
     p_t8.add_argument("--llc", default="6MB")
     p_t8.set_defaults(func=cmd_table8)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static simulator-invariant analysis (rules RL001-RL006)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="accepted-findings file (default: .repro-lint-baseline.json "
+        "when present)",
+    )
+    p_lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept all current findings "
+        "(existing justifications are kept)",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 1) on warnings too, not just errors",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_trace = sub.add_parser(
         "trace", help="summarise and validate a recorded trace file"

@@ -115,6 +115,15 @@ class PromotionMonitor(RegionRetentionMonitor):
         )
 
     # ------------------------------------------------------------------
+    def register_metrics(self, registry, prefix: str = "rrm") -> None:
+        """Publish base monitor counters plus the promotion policy's own."""
+        super().register_metrics(registry, prefix)
+        registry.gauge(
+            f"{prefix}.promotions_issued", lambda: self.promotions_issued
+        )
+        registry.gauge(f"{prefix}.fast_refreshes", lambda: self.fast_refreshes)
+
+    # ------------------------------------------------------------------
     def on_decay_tick(self) -> None:
         """No decay machinery: promotion subsumes it."""
         self.stats.decay_ticks += 1

@@ -368,6 +368,4 @@ class RegionRetentionMonitor:
             f"{prefix}.pending_refreshes", lambda: len(self._pending_refreshes)
         )
         registry.gauge(f"{prefix}.tracked_regions", lambda: self.tags.occupancy)
-        registry.gauge(f"{prefix}.tag_lookups", lambda: self.tags.lookups)
-        registry.gauge(f"{prefix}.tag_hits", lambda: self.tags.hits)
-        registry.derived(f"{prefix}.tag_hit_rate", lambda: self.tags.hit_rate)
+        self.tags.register_metrics(registry, f"{prefix}.tags")

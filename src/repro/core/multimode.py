@@ -103,6 +103,15 @@ class TieredRetentionMonitor(RegionRetentionMonitor):
             s_to_ns(self.mid_refresh_interval_s), self.on_mid_refresh_interrupt
         )
 
+    def register_metrics(self, registry, prefix: str = "rrm") -> None:
+        """Publish base monitor counters plus the mid-tier policy's own."""
+        super().register_metrics(registry, prefix)
+        registry.gauge(
+            f"{prefix}.mid_refreshes_issued", lambda: self.mid_refreshes_issued
+        )
+        registry.gauge(f"{prefix}.mid_decisions", lambda: self.mid_decisions)
+        registry.gauge(f"{prefix}.downgrades", lambda: self.downgrades)
+
     # ------------------------------------------------------------------
     # Registration: extend with the warm tier
     # ------------------------------------------------------------------

@@ -98,3 +98,12 @@ class RRMTagArray:
     def set_occupancy(self, set_index: int) -> int:
         """Valid entries in one set (for contention diagnostics)."""
         return len(self._sets[set_index])
+
+    def register_metrics(self, registry, prefix: str = "rrm.tags") -> None:
+        """Publish tag-array activity counters into *registry*."""
+        registry.gauge(f"{prefix}.lookups", lambda: self.lookups)
+        registry.gauge(f"{prefix}.hits", lambda: self.hits)
+        registry.gauge(f"{prefix}.evictions", lambda: self.evictions)
+        registry.gauge(f"{prefix}.allocations", lambda: self.allocations)
+        registry.gauge(f"{prefix}.occupancy", lambda: self.occupancy)
+        registry.derived(f"{prefix}.hit_rate", lambda: self.hit_rate)

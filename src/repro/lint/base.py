@@ -1,0 +1,107 @@
+"""Checker plugin base class and registry.
+
+A checker is one rule: it owns a rule id, a default severity, and a
+``check(module)`` pass over one file's AST. Checkers are registered with
+the :func:`register` decorator at import time; :func:`all_checkers`
+instantiates the full set (importing :mod:`repro.lint.checkers` for its
+registration side effects), so adding a rule is one new class in one
+file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Type
+
+from repro.lint.context import LintModule
+from repro.lint.finding import Finding
+
+
+class Checker:
+    """One lint rule.
+
+    Subclasses set :attr:`rule_id`, :attr:`name`, :attr:`severity`, and
+    optionally :attr:`packages` (restrict the rule to specific ``repro``
+    sub-packages; ``None`` means every scanned file), then implement
+    :meth:`check`, emitting findings with :meth:`emit` so inline pragmas
+    are honoured against the full source span of the offending node.
+    """
+
+    #: ``RLnnn`` identifier; must be unique across registered checkers.
+    rule_id: str = ""
+    #: Short kebab-case name used in reports (``no-wallclock``).
+    name: str = ""
+    #: Default severity of this rule's findings.
+    severity: str = "error"
+    #: Restrict to these ``repro`` sub-packages, or None for all files.
+    packages: Optional[Iterable[str]] = None
+
+    def applies_to(self, module: LintModule) -> bool:
+        if self.packages is None:
+            return True
+        return module.package in set(self.packages)
+
+    def check(self, module: LintModule) -> List[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        out: List[Finding],
+        module: LintModule,
+        node: ast.AST,
+        message: str,
+        *,
+        hint: str = "",
+        severity: Optional[str] = None,
+    ) -> None:
+        """Append a Finding anchored at *node* unless a pragma on any
+        line the node spans suppresses this rule."""
+        if module.is_disabled(self.rule_id, node):
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        out.append(
+            Finding(
+                rule=self.rule_id,
+                severity=severity or self.severity,
+                path=module.relpath,
+                line=line,
+                col=col,
+                message=message,
+                hint=hint,
+                context=module.line_text(line),
+            )
+        )
+
+    def run(self, module: LintModule) -> List[Finding]:
+        """``check()`` gated on this rule's package restriction."""
+        if not self.applies_to(module):
+            return []
+        return list(self.check(module))
+
+
+#: Registered checker classes in registration order.
+_REGISTRY: List[Type[Checker]] = []
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding *cls* to the global checker registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if any(existing.rule_id == cls.rule_id for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule id: {cls.rule_id}")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def checker_classes() -> List[Type[Checker]]:
+    """All registered checker classes, importing the built-in set."""
+    import repro.lint.checkers  # noqa: F401  (registration side effect)
+
+    return list(_REGISTRY)
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, sorted by rule id."""
+    return [cls() for cls in sorted(checker_classes(), key=lambda c: c.rule_id)]

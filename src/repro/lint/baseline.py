@@ -1,0 +1,179 @@
+"""Baseline (accepted-findings) file support.
+
+A baseline is the reviewable ledger of findings the project has decided
+to live with: each entry carries a ``justification`` string, and CI runs
+``--strict`` so only *new* findings fail the build. Entries match on
+``(rule, path, context)`` — the stripped source line — not line numbers,
+so unrelated edits don't invalidate the baseline; ``count`` bounds how
+many identical occurrences one entry may absorb.
+
+File format (``.repro-lint-baseline.json``)::
+
+    {
+      "version": 1,
+      "tool": "repro-lint",
+      "entries": [
+        {"rule": "RL001", "path": "src/repro/sim/system.py",
+         "context": "started = time.perf_counter()", "count": 1,
+         "justification": "host elapsed-time reporting, not sim state"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.lint.finding import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def paths_match(a: str, b: str) -> bool:
+    """Whether two finding paths name the same file.
+
+    Baseline entries store repo-relative paths, but a scan may be
+    invoked from another directory or with absolute paths, producing
+    spellings like ``../../repo/src/repro/sim/system.py`` for the entry
+    ``src/repro/sim/system.py``. Treat paths as equal when one is a
+    whole-component suffix of the other.
+    """
+    a = a.replace("\\", "/")
+    b = b.replace("\\", "/")
+    return a == b or a.endswith("/" + b) or b.endswith("/" + a)
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding pattern."""
+
+    rule: str
+    path: str
+    context: str
+    count: int = 1
+    justification: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The set of accepted findings, with bounded-count matching."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise ConfigError(
+                f"baseline {path}: expected version {BASELINE_VERSION}"
+            )
+        entries = []
+        for item in raw.get("entries", []):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=item["rule"],
+                        path=item["path"],
+                        context=item["context"],
+                        count=int(item.get("count", 1)),
+                        justification=item.get("justification", ""),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"baseline {path}: malformed entry {item!r}"
+                ) from exc
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into (new, baselined).
+
+        Each entry absorbs at most ``count`` findings with its key;
+        extra occurrences of a baselined pattern are *new* findings —
+        a baseline never grows silently. Paths compare via
+        :func:`paths_match`, so a baseline written at the repo root
+        still applies when the scan is invoked from elsewhere.
+        """
+        budget = [[entry, entry.count] for entry in self.entries]
+        fresh: List[Finding] = []
+        absorbed: List[Finding] = []
+        for finding in findings:
+            for slot in budget:
+                entry, remaining = slot
+                if (
+                    remaining > 0
+                    and entry.rule == finding.rule
+                    and entry.context == finding.context
+                    and paths_match(entry.path, finding.path)
+                ):
+                    slot[1] -= 1
+                    absorbed.append(finding)
+                    break
+            else:
+                fresh.append(finding)
+        return fresh, absorbed
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], previous: "Baseline" = None
+    ) -> "Baseline":
+        """Baseline covering *findings*, keeping justifications that
+        *previous* already recorded for surviving patterns."""
+        kept_justifications: Dict[Tuple[str, str, str], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                if entry.justification:
+                    kept_justifications.setdefault(entry.key, entry.justification)
+        grouped: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.baseline_key
+            grouped[key] = grouped.get(key, 0) + 1
+        entries = [
+            BaselineEntry(
+                rule=rule,
+                path=path,
+                context=context,
+                count=count,
+                justification=kept_justifications.get(
+                    (rule, path, context),
+                    "TODO: justify or fix (added by --update-baseline)",
+                ),
+            )
+            for (rule, path, context), count in sorted(grouped.items())
+        ]
+        return cls(entries=entries)

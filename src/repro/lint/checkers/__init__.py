@@ -1,0 +1,20 @@
+"""Built-in checker set.
+
+Importing this package registers every shipped rule; :func:`~repro.lint.
+base.all_checkers` does so lazily. Rules are grouped by the invariant
+family they protect, one module per family.
+"""
+
+from repro.lint.checkers.determinism import SeededRngChecker, WallClockChecker
+from repro.lint.checkers.events import EventDisciplineChecker
+from repro.lint.checkers.metrics import MetricsCoverageChecker
+from repro.lint.checkers.units import FloatTimeEqualityChecker, UnitMixingChecker
+
+__all__ = [
+    "EventDisciplineChecker",
+    "FloatTimeEqualityChecker",
+    "MetricsCoverageChecker",
+    "SeededRngChecker",
+    "UnitMixingChecker",
+    "WallClockChecker",
+]

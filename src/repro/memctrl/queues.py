@@ -73,6 +73,13 @@ class BoundedQueue:
                 return request
         return None
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish queue pressure counters into *registry*."""
+        registry.gauge(f"{prefix}.depth", lambda: len(self._entries))
+        registry.gauge(f"{prefix}.peak_occupancy", lambda: self.peak_occupancy)
+        registry.gauge(f"{prefix}.total_enqueued", lambda: self.total_enqueued)
+        registry.gauge(f"{prefix}.rejected", lambda: self.rejected)
+
     def __iter__(self) -> Iterable[MemRequest]:
         return iter(self._entries)
 

@@ -39,6 +39,17 @@ class RowBuffer:
         self.open_row = row
         return False
 
+    @property
+    def hit_rate(self) -> float:
+        accesses = self.hits + self.misses
+        return self.hits / accesses if accesses else 0.0
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish row-buffer locality counters into *registry*."""
+        registry.gauge(f"{prefix}.hits", lambda: self.hits)
+        registry.gauge(f"{prefix}.misses", lambda: self.misses)
+        registry.derived(f"{prefix}.hit_rate", lambda: self.hit_rate)
+
 
 @dataclass
 class _InFlightWrite:
@@ -185,3 +196,11 @@ class Bank:
         if elapsed_ns <= 0:
             return 0.0
         return min(1.0, self.busy_time_ns / elapsed_ns)
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish per-bank service counters into *registry*."""
+        registry.gauge(f"{prefix}.reads_served", lambda: self.reads_served)
+        registry.gauge(f"{prefix}.writes_served", lambda: self.writes_served)
+        registry.gauge(f"{prefix}.write_pauses", lambda: self.write_pauses)
+        registry.gauge(f"{prefix}.busy_time_ns", lambda: self.busy_time_ns)
+        self.row_buffer.register_metrics(registry, f"{prefix}.row_buffer")

@@ -128,6 +128,13 @@ class StartGapLeveler:
         """Completed full rotations of the gap through the device."""
         return self.gap_moves // self.n_slots
 
+    def register_metrics(self, registry, prefix: str = "pcm.startgap") -> None:
+        """Publish remapping progress counters into *registry*."""
+        registry.gauge(f"{prefix}.gap_moves", lambda: self.gap_moves)
+        registry.gauge(f"{prefix}.rotations", lambda: self.rotations)
+        registry.gauge(f"{prefix}.start", lambda: self.start)
+        registry.gauge(f"{prefix}.gap_slot", lambda: self.gap)
+
     # ------------------------------------------------------------------
     # Efficiency measurement
     # ------------------------------------------------------------------

@@ -16,7 +16,7 @@ budgets: profiler ticks are engine events and count against them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import ConfigError
 from repro.telemetry.registry import MetricRegistry, Snapshot

@@ -5,7 +5,6 @@ scale: the streaming-write filter, the decay machinery, and write
 pausing.
 """
 
-import pytest
 
 from repro.core.config import RRMConfig
 from repro.core.monitor import RegionRetentionMonitor

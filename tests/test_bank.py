@@ -3,8 +3,6 @@
 import pytest
 
 from repro.pcm.bank import Bank, RowBuffer
-from repro.pcm.timing import PCMTimings
-from repro.pcm.write_modes import WriteModeTable
 
 
 @pytest.fixture

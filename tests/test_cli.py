@@ -82,6 +82,28 @@ class TestParser:
         assert args.check
         assert args.top == 10
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == []
+        assert args.format == "text"
+        assert args.baseline is None
+        assert not args.update_baseline
+        assert not args.strict
+
+    def test_lint_options(self):
+        args = build_parser().parse_args(
+            ["lint", "src/repro", "benchmarks", "--format", "json",
+             "--baseline", "b.json", "--strict"]
+        )
+        assert args.paths == ["src/repro", "benchmarks"]
+        assert args.format == "json"
+        assert args.baseline == "b.json"
+        assert args.strict
+
+    def test_lint_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -221,3 +243,73 @@ class TestCommands:
         raw = json.loads(trace_file.read_text())
         names = {e["name"] for e in raw["traceEvents"]}
         assert "job.attempt" in names and "job.result" in names
+
+
+class TestLintCommand:
+    """`repro-rrm lint` exit codes: 0 clean, 1 findings, 2 usage error."""
+
+    DIRTY = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+    @staticmethod
+    def _dirty_file(tmp_path):
+        pkg = tmp_path / "src" / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        target = pkg / "dirty.py"
+        target.write_text(TestLintCommand.DIRTY)
+        return target
+
+    def test_lint_repo_is_clean(self, capsys):
+        # Self-hosting: the default roots plus the checked-in baseline
+        # must exit 0 even under --strict.
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "baselined" in out
+
+    def test_lint_findings_exit_1(self, capsys, tmp_path):
+        target = self._dirty_file(tmp_path)
+        code = main(["lint", str(target)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+        assert "hint:" in out
+
+    def test_lint_warnings_gate_only_under_strict(self, capsys, tmp_path):
+        target = tmp_path / "src" / "repro" / "engine" / "warn.py"
+        target.parent.mkdir(parents=True)
+        # RL003 literal-kwarg sub-check emits a warning, not an error.
+        target.write_text("def go(make):\n    return make(duration_ns=5.0)\n")
+        assert main(["lint", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(target), "--strict"]) == 1
+        assert "RL003" in capsys.readouterr().out
+
+    def test_lint_missing_path_exit_2(self, capsys):
+        code = main(["lint", "/nonexistent/dir"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_lint_json_format(self, capsys, tmp_path):
+        target = self._dirty_file(tmp_path)
+        code = main(["lint", str(target), "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        assert payload["counts"]["errors"] == 1
+        assert payload["findings"][0]["rule"] == "RL001"
+
+    def test_lint_update_baseline_round_trip(self, capsys, tmp_path):
+        target = self._dirty_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            ["lint", str(target), "--baseline", str(baseline),
+             "--update-baseline"]
+        )
+        assert code == 0
+        assert "baseline written" in capsys.readouterr().err
+        assert baseline.exists()
+        code = main(
+            ["lint", str(target), "--baseline", str(baseline), "--strict"]
+        )
+        assert code == 0
+        assert "1 baselined" in capsys.readouterr().out

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.distributions import (
-    DistributionSummary,
     gini_coefficient,
     lorenz_curve,
     quantile,

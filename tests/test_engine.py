@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.engine import Simulator
 from repro.errors import SimulationError
 
 

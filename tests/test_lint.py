@@ -1,0 +1,901 @@
+"""Tests for the simulator-invariant static analyzer (repro.lint).
+
+Every rule id is exercised both positively (a fixture snippet that must
+trigger it) and negatively (a clean snippet that must not), plus the
+pragma and baseline suppression round-trips and the JSON report schema.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import (
+    Baseline,
+    BaselineEntry,
+    all_checkers,
+    checker_classes,
+    lint_source,
+    run_lint,
+)
+from repro.lint.api import LintReport, iter_python_files
+from repro.lint.context import SIM_PATH_PACKAGES, LintModule, parse_pragmas
+from repro.lint.finding import Finding
+from repro.lint.reporters import render_json, render_text
+
+#: A path inside a sim-path package: every rule is active there.
+SIM_PATH = "src/repro/engine/example.py"
+#: A path outside the sim path: only the package-agnostic rules apply.
+NON_SIM_PATH = "src/repro/analysis/example.py"
+
+
+def lint(source, relpath=SIM_PATH):
+    return lint_source(textwrap.dedent(source), relpath)
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Registry / plumbing
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        ids = [c.rule_id for c in all_checkers()]
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+
+    def test_rule_ids_unique(self):
+        ids = [c.rule_id for c in checker_classes()]
+        assert len(ids) == len(set(ids))
+
+    def test_package_detection(self):
+        module = LintModule("x = 1\n", "src/repro/pcm/device.py")
+        assert module.package == "pcm"
+        assert module.in_sim_path
+        top = LintModule("x = 1\n", "src/repro/cli.py")
+        assert top.package == ""
+        assert not top.in_sim_path
+
+    def test_sim_path_packages_match_issue_contract(self):
+        assert SIM_PATH_PACKAGES == {
+            "engine", "pcm", "memctrl", "cache", "core", "cpu", "sim",
+        }
+
+
+# ----------------------------------------------------------------------
+# RL001 no-wallclock
+# ----------------------------------------------------------------------
+class TestRL001:
+    def test_flags_time_time(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert "RL001" in rules_of(findings)
+
+    def test_flags_aliased_monotonic(self):
+        findings = lint(
+            """
+            import time as t
+
+            def stamp():
+                return t.monotonic()
+            """
+        )
+        assert "RL001" in rules_of(findings)
+
+    def test_flags_from_import_and_datetime(self):
+        findings = lint(
+            """
+            from time import perf_counter
+            from datetime import datetime
+
+            def stamp():
+                return perf_counter(), datetime.now()
+            """
+        )
+        assert sum(1 for f in findings if f.rule == "RL001") == 2
+
+    def test_clean_simulated_time(self):
+        findings = lint(
+            """
+            def handler(sim):
+                return sim.now + 5.0
+            """
+        )
+        assert "RL001" not in rules_of(findings)
+
+    def test_inactive_outside_sim_path(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            relpath=NON_SIM_PATH,
+        )
+        assert "RL001" not in rules_of(findings)
+
+    def test_local_method_named_time_is_clean(self):
+        findings = lint(
+            """
+            class Clock:
+                def time(self):
+                    return 0.0
+
+            def use(clock):
+                return clock.time()
+            """
+        )
+        assert "RL001" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL002 seeded-rng
+# ----------------------------------------------------------------------
+class TestRL002:
+    def test_flags_module_level_random(self):
+        findings = lint(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+        assert "RL002" in rules_of(findings)
+
+    def test_flags_from_import_shuffle(self):
+        findings = lint(
+            """
+            from random import shuffle as mix
+
+            def scramble(items):
+                mix(items)
+            """
+        )
+        assert "RL002" in rules_of(findings)
+
+    def test_flags_global_seed_call(self):
+        findings = lint(
+            """
+            import random
+
+            random.seed(0)
+            """
+        )
+        assert "RL002" in rules_of(findings)
+
+    def test_flags_numpy_global_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """
+        )
+        assert "RL002" in rules_of(findings)
+
+    def test_flags_unseeded_default_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """
+        )
+        assert "RL002" in rules_of(findings)
+
+    def test_clean_injected_instance(self):
+        findings = lint(
+            """
+            import random
+
+            class Component:
+                def __init__(self, seed=0):
+                    self._rng = random.Random(seed)
+
+                def draw(self):
+                    return self._rng.random()
+            """
+        )
+        assert "RL002" not in rules_of(findings)
+
+    def test_clean_seeded_default_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        assert "RL002" not in rules_of(findings)
+
+    def test_active_outside_sim_path(self):
+        findings = lint(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            relpath=NON_SIM_PATH,
+        )
+        assert "RL002" in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL003 unit-mixing
+# ----------------------------------------------------------------------
+class TestRL003:
+    def test_flags_ns_plus_s(self):
+        findings = lint(
+            """
+            def total(latency_ns, retention_s):
+                return latency_ns + retention_s
+            """
+        )
+        assert "RL003" in rules_of(findings)
+        finding = next(f for f in findings if f.rule == "RL003")
+        assert "ns" in finding.message and "[s]" in finding.message
+        assert finding.severity == "error"
+
+    def test_flags_cross_dimension_comparison(self):
+        findings = lint(
+            """
+            def check(size_bytes, window_ns):
+                return size_bytes < window_ns
+            """
+        )
+        assert "RL003" in rules_of(findings)
+
+    def test_flags_attribute_operands(self):
+        findings = lint(
+            """
+            def slack(cfg):
+                return cfg.deadline_s - cfg.latency_ns
+            """
+        )
+        assert "RL003" in rules_of(findings)
+
+    def test_clean_same_unit(self):
+        findings = lint(
+            """
+            def total(a_ns, b_ns):
+                return a_ns + b_ns
+            """
+        )
+        assert "RL003" not in rules_of(findings)
+
+    def test_clean_multiplicative_conversion(self):
+        findings = lint(
+            """
+            def convert(duration_s, freq_ghz):
+                return duration_s * freq_ghz
+            """
+        )
+        assert "RL003" not in rules_of(findings)
+
+    def test_flags_literal_ns_kwarg_as_warning(self):
+        findings = lint(
+            """
+            def run(make):
+                return make(duration_ns=25000000.0)
+            """
+        )
+        hits = [f for f in findings if f.rule == "RL003"]
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+
+    def test_clean_units_helper_kwarg(self):
+        findings = lint(
+            """
+            from repro.utils.units import s_to_ns
+
+            def run(make):
+                return make(duration_ns=s_to_ns(0.025))
+            """
+        )
+        assert "RL003" not in rules_of(findings)
+
+    def test_clean_zero_literal_kwarg(self):
+        findings = lint(
+            """
+            def run(make):
+                return make(start_ns=0)
+            """
+        )
+        assert "RL003" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL004 float-time-equality
+# ----------------------------------------------------------------------
+class TestRL004:
+    def test_flags_equality_on_time_suffix(self):
+        findings = lint(
+            """
+            def due(deadline_ns, t_ns):
+                return deadline_ns == t_ns
+            """
+        )
+        hits = [f for f in findings if f.rule == "RL004"]
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+
+    def test_flags_inequality_on_now(self):
+        findings = lint(
+            """
+            def moved(sim, start):
+                return sim.now != start
+            """
+        )
+        assert "RL004" in rules_of(findings)
+
+    def test_clean_order_comparison(self):
+        findings = lint(
+            """
+            def due(deadline_ns, t_ns):
+                return t_ns >= deadline_ns
+            """
+        )
+        assert "RL004" not in rules_of(findings)
+
+    def test_clean_none_check(self):
+        findings = lint(
+            """
+            def unset(deadline_ns):
+                return deadline_ns == None
+            """
+        )
+        assert "RL004" not in rules_of(findings)
+
+    def test_clean_tolerance_comparison(self):
+        findings = lint(
+            """
+            import pytest
+
+            def close(measured_ns, expected):
+                assert measured_ns == pytest.approx(expected)
+            """
+        )
+        assert "RL004" not in rules_of(findings)
+
+    def test_clean_non_time_identifiers(self):
+        findings = lint(
+            """
+            def same(count, other_count):
+                return count == other_count
+            """
+        )
+        assert "RL004" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL005 metrics-coverage
+# ----------------------------------------------------------------------
+class TestRL005:
+    def test_flags_counter_class_without_registration(self):
+        findings = lint(
+            """
+            class Widget:
+                def __init__(self):
+                    self.hits = 0
+
+                def touch(self):
+                    self.hits += 1
+            """
+        )
+        hits = [f for f in findings if f.rule == "RL005"]
+        assert len(hits) == 1
+        assert "hits" in hits[0].message
+        assert "Widget" in hits[0].message
+
+    def test_clean_with_register_metrics(self):
+        findings = lint(
+            """
+            class Widget:
+                def __init__(self):
+                    self.hits = 0
+
+                def touch(self):
+                    self.hits += 1
+
+                def register_metrics(self, registry, prefix):
+                    registry.gauge(f"{prefix}.hits", lambda: self.hits)
+            """
+        )
+        assert "RL005" not in rules_of(findings)
+
+    def test_clean_private_and_non_counter_attrs(self):
+        findings = lint(
+            """
+            class Cursor:
+                def __init__(self):
+                    self._clock = 0
+                    self.position = 0
+
+                def advance(self):
+                    self._clock += 1
+                    self.position += 3
+            """
+        )
+        assert "RL005" not in rules_of(findings)
+
+    def test_clean_owner_incrementing_stats_struct(self):
+        findings = lint(
+            """
+            class Owner:
+                def __init__(self, stats):
+                    self.stats = stats
+
+                def work(self):
+                    self.stats.reads += 1
+            """
+        )
+        assert "RL005" not in rules_of(findings)
+
+    def test_inactive_outside_sim_path(self):
+        findings = lint(
+            """
+            class Widget:
+                def touch(self):
+                    self.hits += 1
+            """,
+            relpath=NON_SIM_PATH,
+        )
+        assert "RL005" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL006 event-discipline
+# ----------------------------------------------------------------------
+class TestRL006:
+    def test_flags_negative_delay(self):
+        findings = lint(
+            """
+            def go(sim, cb):
+                sim.schedule_after(-5.0, cb)
+            """
+        )
+        assert "RL006" in rules_of(findings)
+
+    def test_flags_absolute_literal_schedule_at(self):
+        findings = lint(
+            """
+            def go(sim, cb):
+                sim.schedule_at(100.0, cb)
+            """
+        )
+        assert "RL006" in rules_of(findings)
+
+    def test_flags_non_positive_period(self):
+        findings = lint(
+            """
+            def go(sim, cb):
+                sim.schedule_periodic(0, cb)
+            """
+        )
+        assert "RL006" in rules_of(findings)
+
+    def test_flags_clock_mutation_through_other_object(self):
+        findings = lint(
+            """
+            def warp(sim, t):
+                sim._now = t
+            """
+        )
+        assert "RL006" in rules_of(findings)
+
+    def test_clean_now_relative_scheduling(self):
+        findings = lint(
+            """
+            def go(sim, cb, delay):
+                sim.schedule_after(delay, cb)
+                sim.schedule_at(sim.now + 10.0, cb)
+            """
+        )
+        assert "RL006" not in rules_of(findings)
+
+    def test_clean_self_clock_ownership(self):
+        findings = lint(
+            """
+            class Engine:
+                def __init__(self):
+                    self._now = 0.0
+
+                def _advance(self, t):
+                    self._now = t
+            """
+        )
+        assert "RL006" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_same_line_disable(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=RL001
+            """
+        )
+        assert "RL001" not in rules_of(findings)
+
+    def test_disable_is_rule_specific(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=RL002
+            """
+        )
+        assert "RL001" in rules_of(findings)
+
+    def test_multi_rule_disable(self):
+        findings = lint(
+            """
+            def total(a_ns, b_s, sim):
+                return a_ns + b_s == sim.now  # repro-lint: disable=RL003,RL004
+            """
+        )
+        assert rules_of(findings) == set()
+
+    def test_disable_all(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=all
+            """
+        )
+        assert findings == []
+
+    def test_disable_file(self):
+        findings = lint(
+            """
+            # repro-lint: disable-file=RL001
+            import time
+
+            def stamp():
+                return time.time()
+
+            def stamp2():
+                return time.monotonic()
+            """
+        )
+        assert "RL001" not in rules_of(findings)
+
+    def test_pragma_on_multiline_statement_span(self):
+        findings = lint(
+            """
+            def go(sim, cb):
+                sim.schedule_at(
+                    100.0,
+                    cb,
+                )  # repro-lint: disable=RL006
+            """
+        )
+        assert "RL006" not in rules_of(findings)
+
+    def test_parse_pragmas_shapes(self):
+        per_line, per_file = parse_pragmas(
+            [
+                "x = 1  # repro-lint: disable=RL001, RL003",
+                "# repro-lint: disable-file=RL005",
+            ]
+        )
+        assert per_line == {1: {"RL001", "RL003"}}
+        assert per_file == {"RL005"}
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    @staticmethod
+    def _finding(context="return time.time()", rule="RL001"):
+        return Finding(
+            rule=rule,
+            severity="error",
+            path="src/repro/engine/example.py",
+            line=4,
+            col=11,
+            message="wall-clock",
+            context=context,
+        )
+
+    def test_partition_absorbs_matching(self):
+        finding = self._finding()
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    context=finding.context,
+                    justification="known",
+                )
+            ]
+        )
+        fresh, absorbed = baseline.partition([finding])
+        assert fresh == []
+        assert absorbed == [finding]
+
+    def test_partition_count_bounds_duplicates(self):
+        finding = self._finding()
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    context=finding.context,
+                    count=1,
+                )
+            ]
+        )
+        fresh, absorbed = baseline.partition([finding, finding])
+        assert len(fresh) == 1 and len(absorbed) == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        original = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule="RL001",
+                    path="src/repro/sim/system.py",
+                    context="t = time.time()",
+                    count=2,
+                    justification="reporting only",
+                )
+            ]
+        )
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == original.entries
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            Baseline.load(str(path))
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ConfigError):
+            Baseline.load(str(path))
+
+    def test_from_findings_keeps_justifications(self):
+        finding = self._finding()
+        previous = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    context=finding.context,
+                    justification="carefully reviewed",
+                )
+            ]
+        )
+        rebuilt = Baseline.from_findings([finding], previous=previous)
+        assert rebuilt.entries[0].justification == "carefully reviewed"
+
+    def test_matches_across_invocation_directories(self):
+        # A baseline written at the repo root must still absorb findings
+        # when the scan is invoked from elsewhere with absolute paths.
+        finding = self._finding()
+        entry = BaselineEntry(
+            rule=finding.rule,
+            path="../../repo/" + finding.path,
+            context=finding.context,
+        )
+        fresh, absorbed = Baseline(entries=[entry]).partition([finding])
+        assert fresh == [] and absorbed == [finding]
+        reversed_entry = BaselineEntry(
+            rule=finding.rule, path=finding.path, context=finding.context
+        )
+        moved = Finding(
+            rule=finding.rule,
+            severity=finding.severity,
+            path="/abs/checkout/" + finding.path,
+            line=finding.line,
+            col=finding.col,
+            message=finding.message,
+            context=finding.context,
+        )
+        fresh, absorbed = Baseline(entries=[reversed_entry]).partition([moved])
+        assert fresh == [] and absorbed == [moved]
+
+    def test_different_file_same_basename_not_matched(self):
+        finding = self._finding()
+        entry = BaselineEntry(
+            rule=finding.rule,
+            path="src/repro/pcm/example.py",
+            context=finding.context,
+        )
+        fresh, absorbed = Baseline(entries=[entry]).partition([finding])
+        assert absorbed == [] and fresh == [finding]
+
+    def test_line_number_changes_do_not_invalidate(self):
+        moved = Finding(
+            rule="RL001",
+            severity="error",
+            path="src/repro/engine/example.py",
+            line=400,
+            col=0,
+            message="wall-clock",
+            context="return time.time()",
+        )
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule=moved.rule, path=moved.path, context=moved.context
+                )
+            ]
+        )
+        fresh, absorbed = baseline.partition([moved])
+        assert fresh == []
+        assert len(absorbed) == 1
+
+
+# ----------------------------------------------------------------------
+# run_lint end-to-end (tmp tree) + reporters
+# ----------------------------------------------------------------------
+DIRTY_SOURCE = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def _make_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "engine"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(DIRTY_SOURCE)
+    (pkg / "clean.py").write_text("def f(sim):\n    return sim.now\n")
+    return tmp_path
+
+
+class TestRunLint:
+    def test_scans_directory_and_reports(self, tmp_path, monkeypatch):
+        _make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        report = run_lint(["src/repro"])
+        assert report.files_scanned == 2
+        assert report.error_count == 1
+        assert report.findings[0].rule == "RL001"
+        assert report.findings[0].path.endswith("dirty.py")
+        assert report.exit_code() == 1
+
+    def test_missing_path_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            run_lint(["/definitely/not/a/path"])
+
+    def test_parse_error_becomes_rl000(self, tmp_path, monkeypatch):
+        pkg = tmp_path / "src" / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def f(:\n")
+        monkeypatch.chdir(tmp_path)
+        report = run_lint(["src/repro"])
+        assert [f.rule for f in report.findings] == ["RL000"]
+        assert report.exit_code() == 1
+
+    def test_update_baseline_then_clean(self, tmp_path, monkeypatch):
+        _make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        first = run_lint(["src/repro"], update_baseline=True)
+        assert first.baseline_updated
+        report = run_lint(["src/repro"])
+        assert report.clean
+        assert len(report.baselined) == 1
+        assert report.exit_code(strict=True) == 0
+
+    def test_new_finding_not_hidden_by_baseline(self, tmp_path, monkeypatch):
+        _make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        run_lint(["src/repro"], update_baseline=True)
+        extra = tmp_path / "src" / "repro" / "engine" / "extra.py"
+        extra.write_text("import time\n\nT0 = time.monotonic()\n")
+        report = run_lint(["src/repro"])
+        assert report.error_count == 1
+        assert report.findings[0].path.endswith("extra.py")
+
+    def test_iter_python_files_sorted_unique(self, tmp_path):
+        _make_tree(tmp_path)
+        root = str(tmp_path / "src")
+        files = iter_python_files([root, root])
+        assert files == sorted(set(files))
+        assert all(f.endswith(".py") for f in files)
+
+    def test_strict_vs_default_exit_codes(self):
+        warning = Finding(
+            rule="RL004",
+            severity="warning",
+            path="x.py",
+            line=1,
+            col=0,
+            message="m",
+        )
+        report = LintReport(findings=[warning], files_scanned=1)
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+
+class TestReporters:
+    @staticmethod
+    def _report():
+        finding = Finding(
+            rule="RL001",
+            severity="error",
+            path="src/repro/engine/dirty.py",
+            line=4,
+            col=11,
+            message="wall-clock read `time.time()` on the simulation path",
+            hint="use Simulator.now",
+            context="return time.time()",
+        )
+        return LintReport(findings=[finding], files_scanned=2)
+
+    def test_text_report_contains_location_and_summary(self):
+        text = render_text(self._report())
+        assert "src/repro/engine/dirty.py:4:12: RL001" in text
+        assert "hint: use Simulator.now" in text
+        assert "1 error(s)" in text
+
+    def test_json_schema_stable(self):
+        payload = json.loads(render_json(self._report()))
+        assert set(payload) == {
+            "version", "tool", "files_scanned", "counts", "findings",
+        }
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro-lint"
+        assert payload["counts"] == {
+            "errors": 1,
+            "warnings": 0,
+            "baselined": 0,
+            "by_rule": {"RL001": 1},
+        }
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "rule", "severity", "path", "line", "col",
+            "message", "hint", "context",
+        }
+        assert finding["line"] == 4 and finding["col"] == 11
+
+    def test_json_round_trips_through_loads(self):
+        assert json.loads(render_json(LintReport(files_scanned=0)))[
+            "findings"
+        ] == []
+
+
+# ----------------------------------------------------------------------
+# Self-hosting: the repository obeys its own invariants
+# ----------------------------------------------------------------------
+class TestSelfHosting:
+    def test_repo_lints_clean_under_strict(self):
+        report = run_lint()  # default roots + checked-in baseline
+        assert report.clean, "\n".join(f.render() for f in report.findings)
+        assert report.exit_code(strict=True) == 0
+
+    def test_baseline_entries_all_justified(self):
+        baseline = Baseline.load(".repro-lint-baseline.json")
+        assert baseline.entries, "baseline should document accepted findings"
+        for entry in baseline.entries:
+            assert entry.justification.strip(), entry
+            assert not entry.justification.startswith("TODO"), entry

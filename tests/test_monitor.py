@@ -7,7 +7,6 @@ from repro.core.monitor import RegionRetentionMonitor
 from repro.engine import Simulator
 from repro.errors import ConfigError
 from repro.memctrl.request import RequestType
-from repro.pcm.write_modes import WriteModeTable
 from repro.utils.units import s_to_ns
 
 

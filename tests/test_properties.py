@@ -6,7 +6,6 @@ LRU discipline, vector bookkeeping, queue conservation, and lifetime-model
 scaling laws.
 """
 
-import math
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

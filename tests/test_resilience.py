@@ -18,7 +18,6 @@ from repro.errors import (
     ResilienceError,
 )
 from repro.resilience import (
-    FailedRun,
     FaultPlan,
     FaultSpec,
     Job,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ConfigError
 from repro.sim.config import SystemConfig
 from repro.sim.sweeps import (
-    SweepPoint,
     coverage_sweep,
     entry_size_sweep,
     hot_threshold_sweep,

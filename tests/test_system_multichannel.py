@@ -9,7 +9,7 @@ import dataclasses
 
 import pytest
 
-from repro.sim.config import MemoryConfig, SystemConfig
+from repro.sim.config import SystemConfig
 from repro.sim.runner import run_workload
 from repro.sim.schemes import Scheme
 from repro.utils.units import parse_size

@@ -5,9 +5,6 @@ import dataclasses
 import pytest
 
 from repro.memctrl.request import MemRequest, RequestType
-from repro.pcm.drift import DriftModel, DriftParameters
-from repro.pcm.write_modes import WriteModeTable
-from repro.sim.config import SystemConfig
 from repro.sim.schemes import Scheme
 from repro.sim.system import System
 from repro.sim.validation import RetentionIntegrityChecker
