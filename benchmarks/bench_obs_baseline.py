@@ -1,0 +1,131 @@
+"""Pinned observability baseline: the core suite feeding the run ledger.
+
+Not a paper figure — this bench is the *performance contract* of the
+repo itself. It runs the fixed ``repro.obs.benchsuite.CORE_SUITE``
+matrix (tiny config, seed 1), appends every cell to the repo-root run
+ledger, refreshes ``BENCH_core.json``, and gates the fresh numbers
+against the committed baseline in ``benchmarks/obs_baseline.json``.
+
+Because the simulation is deterministic per seed, any metric drift on an
+unchanged configuration is a code change. When a change is *intentional*
+(an optimisation, a model fix), re-pin with::
+
+    repro-rrm obs bench --ledger obs-ledger.jsonl \
+        --baseline-out benchmarks/obs_baseline.json
+
+and commit the refreshed baseline + BENCH_core.json alongside the code.
+
+Runs standalone (``python benchmarks/bench_obs_baseline.py``) or under
+pytest-benchmark (``pytest benchmarks/bench_obs_baseline.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from benchmarks.common import write_report
+from repro.obs import (
+    compare_samples,
+    load_baseline,
+    run_core_suite,
+    samples_from_entries,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = Path(__file__).parent / "obs_baseline.json"
+
+
+def run_suite(
+    *,
+    ledger_path=None,
+    bench_json_path=None,
+    baseline_path=DEFAULT_BASELINE,
+    pin: bool = False,
+):
+    """Run the pinned suite; returns ``(outcome, gate_report_or_None)``."""
+    outcome = run_core_suite(
+        ledger_path=ledger_path,
+        bench_json_path=bench_json_path,
+        baseline_out=baseline_path if pin else None,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    report = None
+    if not pin and Path(baseline_path).exists():
+        report = compare_samples(
+            load_baseline(baseline_path),
+            samples_from_entries(outcome.entries),
+        )
+    return outcome, report
+
+
+def bench_obs_baseline(benchmark, tmp_path):
+    """Pytest entry: suite runs once, and must gate green vs the pinned
+    baseline (wall_time_s aside, the metrics are deterministic)."""
+
+    state = {}
+
+    def once():
+        state["outcome"], state["report"] = run_suite(
+            ledger_path=tmp_path / "obs-ledger.jsonl",
+            bench_json_path=tmp_path / "BENCH_core.json",
+        )
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    outcome, report = state["outcome"], state["report"]
+    assert len(outcome.entries) == 4
+    lines = [
+        f"{e.name:<32} ipc={e.metrics.get('ipc', 0.0):.4f}"
+        for e in outcome.entries
+    ]
+    if report is not None:
+        lines.append("")
+        lines.append(report.format_text())
+        assert not report.regressions, report.format_text()
+    write_report("obs_baseline", "\n".join(lines))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ledger",
+        default=str(REPO_ROOT / "obs-ledger.jsonl"),
+        help="run ledger to append to (default: repo-root obs-ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--bench-json",
+        default=str(REPO_ROOT / "BENCH_core.json"),
+        help="suite summary to write (default: repo-root BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="gate baseline to compare against (or to write with --pin)",
+    )
+    parser.add_argument(
+        "--pin",
+        action="store_true",
+        help="re-pin the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+    outcome, report = run_suite(
+        ledger_path=args.ledger,
+        bench_json_path=args.bench_json,
+        baseline_path=args.baseline,
+        pin=args.pin,
+    )
+    for entry in outcome.entries:
+        print(f"  {entry.name:<32} ipc={entry.metrics.get('ipc', 0.0):.4f}")
+    if args.pin:
+        print(f"baseline pinned: {args.baseline}")
+        return 0
+    if report is None:
+        print(f"no baseline at {args.baseline}; run with --pin to create it")
+        return 0
+    print(report.format_text())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

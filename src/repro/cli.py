@@ -20,14 +20,21 @@ Examples::
     # Trace a run (Chrome-trace JSON, loadable in Perfetto / chrome://tracing)
     repro-rrm run --workload GemsFDTD --trace out.json --metrics-interval 1ms
 
-    # Inspect a recorded trace
+    # Inspect a recorded trace, or diff two
     repro-rrm trace out.json
+    repro-rrm trace diff before.json after.json
+
+    # Performance observability: pinned suite, regression gate, dashboard
+    repro-rrm obs bench --ledger obs-ledger.jsonl
+    repro-rrm obs gate --ledger obs-ledger.jsonl --baseline benchmarks/obs_baseline.json
+    repro-rrm obs dashboard --ledger obs-ledger.jsonl --out obs-dashboard.html
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
@@ -39,8 +46,32 @@ from repro.analysis.report import (
     performance_report,
 )
 from repro.core.config import RRMConfig
-from repro.errors import ConfigError, ReproError, TraceFormatError
+from repro.errors import (
+    ConfigError,
+    LedgerCorruptError,
+    ReproError,
+    TraceFormatError,
+)
 from repro.lint import render_json, render_text, run_lint
+from repro.obs import (
+    DEFAULT_RULES,
+    KIND_RUN,
+    KIND_SWEEP,
+    LedgerEntry,
+    RunLedger,
+    RunProgress,
+    SweepProgress,
+    compare_samples,
+    diff_traces,
+    environment_fingerprint,
+    format_trace_diff,
+    load_baseline,
+    load_rules,
+    render_dashboard,
+    run_core_suite,
+    samples_from_entries,
+    write_baseline,
+)
 from repro.resilience import FaultPlan, RetryPolicy
 from repro.pcm.write_modes import WriteModeTable
 from repro.sim.config import SystemConfig
@@ -157,7 +188,20 @@ def cmd_run(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     system = System(config, args.workload, scheme, telemetry=telemetry)
-    result = system.run()
+    progress = None
+    if args.progress:
+        progress = RunProgress(system)
+        progress.register_metrics(system.telemetry.registry)
+        progress.attach()
+    try:
+        result = system.run()
+    finally:
+        if progress is not None:
+            progress.close()
+    if args.ledger:
+        entry = LedgerEntry.from_result(result, config, kind=KIND_RUN)
+        RunLedger(args.ledger).append(entry)
+        print(f"ledger entry appended to {args.ledger}", file=sys.stderr)
     print(result.summary())
     if args.verbose:
         for key, value in sorted(result.as_dict().items()):
@@ -202,6 +246,9 @@ def cmd_sweep(args) -> int:
         )
     # A sweep spans processes, so its timeline is wall-clock, not sim time.
     tracer = Tracer.wallclock() if args.trace else None
+    reporter = (
+        SweepProgress(len(workloads) * len(schemes)) if args.progress else None
+    )
     runner = ExperimentRunner(
         config,
         workloads=workloads,
@@ -211,16 +258,35 @@ def cmd_sweep(args) -> int:
         retry=RetryPolicy(max_retries=args.retries),
         journal_path=args.journal,
         fault_plan=fault_plan,
+        on_event=reporter.on_event if reporter is not None else None,
         **({"tracer": tracer} if tracer is not None else {}),
     )
     progress = lambda w, s, r: print(f"  done: {w} / {s.value}", file=sys.stderr)  # noqa: E731
-    if args.resume:
-        if not args.journal:
-            print("--resume requires --journal", file=sys.stderr)
-            return 2
-        runner.resume(progress=progress)
-    else:
-        runner.run_all(progress=progress)
+    if reporter is not None:
+        progress = None  # the single-line reporter replaces per-job lines
+    try:
+        if args.resume:
+            if not args.journal:
+                print("--resume requires --journal", file=sys.stderr)
+                return 2
+            runner.resume(progress=progress)
+        else:
+            runner.run_all(progress=progress)
+    finally:
+        if reporter is not None:
+            reporter.close()
+    if args.ledger:
+        ledger = RunLedger(args.ledger)
+        for (workload, scheme), result in sorted(
+            runner.results.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+        ):
+            ledger.append(
+                LedgerEntry.from_result(result, config, kind=KIND_SWEEP)
+            )
+        print(
+            f"{len(runner.results)} ledger entries appended to {args.ledger}",
+            file=sys.stderr,
+        )
     print(performance_report(runner, schemes))
     print()
     print(lifetime_report(runner, schemes))
@@ -317,11 +383,36 @@ def cmd_table3(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    """Summarise (and optionally validate) a recorded trace file."""
+    """Summarise/validate one trace file, or diff two (``trace diff A B``)."""
+    files = args.file
+    if files and files[0] == "diff":
+        if len(files) != 3:
+            print("usage: repro-rrm trace diff A B", file=sys.stderr)
+            return 2
+        try:
+            events_a = load_trace(files[1])
+            events_b = load_trace(files[2])
+        except (TraceFormatError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_trace_diff(diff_traces(events_a, events_b), top=args.top))
+        return 0
+    if len(files) != 1:
+        print(
+            "usage: repro-rrm trace FILE  (or: trace diff A B)",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        events = load_trace(args.file)
+        events = load_trace(files[0])
     except (TraceFormatError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        # An empty trace is an empty recording, not a summary of zero:
+        # the tracer always emits metadata, so nothing at all means a
+        # truncated or never-started capture.
+        print(f"error: {files[0]}: trace contains no events", file=sys.stderr)
         return 2
     problems = validate_chrome_trace(events)
     print(format_summary(summarize_trace(events, top_spans=args.top)))
@@ -385,6 +476,125 @@ def cmd_table8(args) -> int:
     return 0
 
 
+def cmd_obs_bench(args) -> int:
+    """Run the pinned core micro-benchmark suite and record it."""
+    try:
+        outcome = run_core_suite(
+            ledger_path=args.ledger,
+            bench_json_path=args.bench_json,
+            baseline_out=args.baseline_out,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for entry in outcome.entries:
+        ipc = entry.metrics.get("ipc")
+        wall = entry.metrics.get("wall_time_s")
+        print(
+            f"  {entry.name:<32} ipc={ipc:.4f}  wall={wall:.2f}s"
+            if ipc is not None and wall is not None
+            else f"  {entry.name}"
+        )
+    if outcome.ledger_path:
+        print(f"ledger: {outcome.ledger_path}", file=sys.stderr)
+    if outcome.bench_json_path:
+        print(f"summary: {outcome.bench_json_path}", file=sys.stderr)
+    if outcome.baseline_path:
+        print(f"baseline pinned: {outcome.baseline_path}", file=sys.stderr)
+    return 0
+
+
+def _run_gate(args, *, report_only: bool) -> int:
+    """Shared body of ``obs compare`` (always 0) and ``obs gate`` (0/1)."""
+    try:
+        baseline = load_baseline(args.baseline)
+        rules = load_rules(args.rules) if args.rules else DEFAULT_RULES
+        entries = RunLedger.load(args.ledger)
+    except FileNotFoundError as exc:
+        print(f"error: ledger not found: {exc.filename or exc}", file=sys.stderr)
+        return 2
+    except (ConfigError, LedgerCorruptError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    current = samples_from_entries(entries, last_n=args.last)
+    report = compare_samples(baseline, current, rules=rules, seed=args.seed)
+    print(report.format_text(verbose=args.verbose))
+    if args.json:
+        import json as _json
+
+        Path(args.json).write_text(
+            _json.dumps(report.to_json_dict(), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"verdicts written to {args.json}", file=sys.stderr)
+    return report.exit_code(report_only=report_only)
+
+
+def cmd_obs_compare(args) -> int:
+    return _run_gate(args, report_only=True)
+
+
+def cmd_obs_gate(args) -> int:
+    return _run_gate(args, report_only=args.report_only)
+
+
+def cmd_obs_pin(args) -> int:
+    """Pin the ledger's latest samples as a gate baseline file."""
+    try:
+        entries = RunLedger.load(args.ledger)
+    except FileNotFoundError as exc:
+        print(f"error: ledger not found: {exc.filename or exc}", file=sys.stderr)
+        return 2
+    except LedgerCorruptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    samples = samples_from_entries(entries, last_n=args.last)
+    if not samples:
+        print("error: ledger has no entries to pin", file=sys.stderr)
+        return 2
+    write_baseline(args.out, samples, fingerprint=environment_fingerprint())
+    print(f"baseline pinned: {args.out} ({len(samples)} run name(s))")
+    return 0
+
+
+def cmd_obs_dashboard(args) -> int:
+    """Render the offline HTML dashboard from a ledger (+ optional gate)."""
+    try:
+        entries = RunLedger.load(args.ledger)
+    except FileNotFoundError as exc:
+        print(f"error: ledger not found: {exc.filename or exc}", file=sys.stderr)
+        return 2
+    except LedgerCorruptError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    gate_report = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        gate_report = compare_samples(
+            baseline,
+            samples_from_entries(entries, last_n=args.last),
+            seed=args.seed,
+        )
+    html_text = render_dashboard(
+        entries,
+        gate_report=gate_report,
+        title=args.title,
+        metrics=args.metrics or None,
+        max_points=args.max_points,
+    )
+    Path(args.out).write_text(html_text, encoding="utf-8")
+    print(
+        f"dashboard written to {args.out} "
+        f"({len(entries)} entries{', with gate verdicts' if gate_report else ''})"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-rrm",
@@ -400,6 +610,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--workload", default="GemsFDTD")
     p_run.add_argument("--scheme", default="rrm")
     p_run.add_argument("--verbose", action="store_true")
+    p_run.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line progress (sim-time %%, events/s, ETA, "
+        "queue depths); does not change results",
+    )
+    p_run.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="append this run's metrics + environment fingerprint to a "
+        "JSONL run ledger (see 'repro-rrm obs')",
+    )
     _add_telemetry(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -453,6 +676,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record a wall-clock orchestration trace (job attempts, "
         "retries, failures, journal appends) in Chrome-trace format",
+    )
+    p_sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line sweep progress (settled/failed/retries/ETA)",
+    )
+    p_sweep.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="append every completed cell's metrics to a JSONL run ledger",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -517,11 +751,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.set_defaults(func=cmd_lint)
 
     p_trace = sub.add_parser(
-        "trace", help="summarise and validate a recorded trace file"
+        "trace", help="summarise, validate, or diff recorded trace files"
     )
-    p_trace.add_argument("file", help="trace file (.json Chrome-trace or .jsonl)")
     p_trace.add_argument(
-        "--top", type=int, default=10, help="longest spans to list (default: 10)"
+        "file",
+        nargs="+",
+        help="trace file (.json Chrome-trace or .jsonl), or 'diff A B' "
+        "to report span-level deltas between two traces",
+    )
+    p_trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="longest spans / largest deltas to list (default: 10)",
     )
     p_trace.add_argument(
         "--check",
@@ -529,6 +771,180 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if the file fails Chrome-trace validation",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="performance observability: run ledger, regression gate, "
+        "dashboard",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_bench = obs_sub.add_parser(
+        "bench", help="run the pinned core micro-benchmark suite"
+    )
+    p_bench.add_argument(
+        "--ledger",
+        default="obs-ledger.jsonl",
+        metavar="FILE",
+        help="run ledger to append to (default: obs-ledger.jsonl)",
+    )
+    p_bench.add_argument(
+        "--bench-json",
+        default="BENCH_core.json",
+        metavar="FILE",
+        help="suite summary output (default: BENCH_core.json)",
+    )
+    p_bench.add_argument(
+        "--baseline-out",
+        default=None,
+        metavar="FILE",
+        help="also pin the fresh results as a gate baseline",
+    )
+    p_bench.set_defaults(func=cmd_obs_bench)
+
+    def _add_gate_args(p, *, verbose_default: bool = False) -> None:
+        p.add_argument(
+            "--ledger",
+            default="obs-ledger.jsonl",
+            metavar="FILE",
+            help="run ledger holding the current samples "
+            "(default: obs-ledger.jsonl)",
+        )
+        p.add_argument(
+            "--baseline",
+            required=True,
+            metavar="FILE",
+            help="pinned baseline (from 'obs bench --baseline-out' or "
+            "'obs pin')",
+        )
+        p.add_argument(
+            "--rules",
+            default=None,
+            metavar="FILE",
+            help="JSON per-metric direction/threshold rules "
+            "(default: built-in rule set)",
+        )
+        p.add_argument(
+            "--last",
+            type=int,
+            default=1,
+            metavar="N",
+            help="most recent ledger entries per run name to judge "
+            "(default: 1)",
+        )
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=0,
+            help="bootstrap resampling seed (default: 0)",
+        )
+        p.add_argument(
+            "--json",
+            default=None,
+            metavar="FILE",
+            help="also write the verdicts as JSON",
+        )
+        p.add_argument(
+            "--verbose",
+            action="store_true",
+            default=verbose_default,
+            help="show ok/info verdicts too, not just flagged ones",
+        )
+
+    p_compare = obs_sub.add_parser(
+        "compare",
+        help="compare latest ledger entries against a baseline (always "
+        "exits 0; the reporting twin of 'gate')",
+    )
+    _add_gate_args(p_compare, verbose_default=True)
+    p_compare.set_defaults(func=cmd_obs_compare)
+
+    p_gate = obs_sub.add_parser(
+        "gate",
+        help="statistical regression gate: exit 1 when any metric's "
+        "confidence interval clears its guard band in the bad direction",
+    )
+    _add_gate_args(p_gate)
+    p_gate.add_argument(
+        "--report-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI advisory mode)",
+    )
+    p_gate.set_defaults(func=cmd_obs_gate)
+
+    p_pin = obs_sub.add_parser(
+        "pin", help="pin the ledger's latest samples as a gate baseline"
+    )
+    p_pin.add_argument(
+        "--ledger",
+        default="obs-ledger.jsonl",
+        metavar="FILE",
+        help="run ledger to read (default: obs-ledger.jsonl)",
+    )
+    p_pin.add_argument(
+        "--out",
+        default="benchmarks/obs_baseline.json",
+        metavar="FILE",
+        help="baseline file to write (default: benchmarks/obs_baseline.json)",
+    )
+    p_pin.add_argument(
+        "--last",
+        type=int,
+        default=1,
+        metavar="N",
+        help="most recent entries per run name to pin (default: 1)",
+    )
+    p_pin.set_defaults(func=cmd_obs_pin)
+
+    p_dash = obs_sub.add_parser(
+        "dashboard",
+        help="render the self-contained offline HTML dashboard",
+    )
+    p_dash.add_argument(
+        "--ledger",
+        default="obs-ledger.jsonl",
+        metavar="FILE",
+        help="run ledger to read (default: obs-ledger.jsonl)",
+    )
+    p_dash.add_argument(
+        "--out",
+        default="obs-dashboard.html",
+        metavar="FILE",
+        help="output HTML file (default: obs-dashboard.html)",
+    )
+    p_dash.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="include gate verdicts against this baseline",
+    )
+    p_dash.add_argument(
+        "--last",
+        type=int,
+        default=1,
+        metavar="N",
+        help="entries per name judged by the gate section (default: 1)",
+    )
+    p_dash.add_argument(
+        "--seed", type=int, default=0, help="bootstrap seed (default: 0)"
+    )
+    p_dash.add_argument(
+        "--metrics",
+        nargs="*",
+        default=None,
+        help="metrics to plot (default: a stock headline set)",
+    )
+    p_dash.add_argument(
+        "--max-points",
+        type=int,
+        default=60,
+        metavar="N",
+        help="sparkline history cap per metric (default: 60)",
+    )
+    p_dash.add_argument(
+        "--title", default="repro-rrm performance observability"
+    )
+    p_dash.set_defaults(func=cmd_obs_dashboard)
 
     return parser
 

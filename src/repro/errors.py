@@ -65,3 +65,11 @@ class CheckpointCorruptError(ResilienceError):
     """A results journal contains an unreadable record before its final
     line (a truncated *final* line is expected after a crash and is
     skipped, not an error)."""
+
+
+class LedgerCorruptError(ReproError):
+    """A run ledger contains an unreadable record before its final line.
+
+    Mirrors :class:`CheckpointCorruptError`: a truncated *final* line is
+    a torn append and is dropped silently; anything earlier means the
+    file was edited or damaged and must not be trusted."""

@@ -1,0 +1,94 @@
+"""Continuous performance observability.
+
+The longitudinal layer over the simulator's per-run telemetry: a durable
+:class:`RunLedger` of fingerprinted metric snapshots, a statistical
+regression gate over it, span-level trace diffing, live progress
+reporters, the pinned core benchmark suite, and the offline HTML
+dashboard. Everything here is *reporting-side* — attaching any of it to
+a run must not change the run's :class:`~repro.sim.metrics.SimResult`.
+"""
+
+from repro.obs.benchsuite import (
+    CORE_SUITE,
+    SuiteOutcome,
+    cell_name,
+    core_config,
+    run_core_suite,
+    write_bench_json,
+)
+from repro.obs.dashboard import render_dashboard
+from repro.obs.gate import (
+    DEFAULT_RULES,
+    GateReport,
+    GateRule,
+    MetricVerdict,
+    bootstrap_rel_delta,
+    compare_samples,
+    load_baseline,
+    load_rules,
+    rule_for,
+    samples_from_entries,
+    write_baseline,
+)
+from repro.obs.ledger import (
+    KIND_BENCH,
+    KIND_RUN,
+    KIND_SWEEP,
+    LEDGER_SCHEMA,
+    LedgerEntry,
+    RunLedger,
+    config_hash,
+    entries_by_name,
+    environment_fingerprint,
+    git_revision,
+    metric_series,
+)
+from repro.obs.progress import RunProgress, SweepProgress
+from repro.obs.tracediff import (
+    SpanDelta,
+    SpanStats,
+    TraceDiff,
+    diff_traces,
+    format_trace_diff,
+    span_stats,
+)
+
+__all__ = [
+    "CORE_SUITE",
+    "DEFAULT_RULES",
+    "GateReport",
+    "GateRule",
+    "KIND_BENCH",
+    "KIND_RUN",
+    "KIND_SWEEP",
+    "LEDGER_SCHEMA",
+    "LedgerEntry",
+    "MetricVerdict",
+    "RunLedger",
+    "RunProgress",
+    "SpanDelta",
+    "SpanStats",
+    "SuiteOutcome",
+    "SweepProgress",
+    "TraceDiff",
+    "bootstrap_rel_delta",
+    "cell_name",
+    "compare_samples",
+    "config_hash",
+    "core_config",
+    "diff_traces",
+    "entries_by_name",
+    "environment_fingerprint",
+    "format_trace_diff",
+    "git_revision",
+    "load_baseline",
+    "load_rules",
+    "metric_series",
+    "render_dashboard",
+    "rule_for",
+    "run_core_suite",
+    "samples_from_entries",
+    "span_stats",
+    "write_baseline",
+    "write_bench_json",
+]

@@ -1,0 +1,144 @@
+"""The pinned micro-benchmark suite behind ``repro-rrm obs bench``.
+
+A small, fixed matrix of (workload, scheme) cells on the tiny
+configuration with a pinned seed — deliberately cheap (~1 s per cell)
+so it runs on every CI push. Each cell's :class:`~repro.sim.metrics.SimResult`
+becomes a ``kind="bench"`` ledger entry named ``core/<workload>/<scheme>``,
+and the whole suite is summarised into a repo-root ``BENCH_core.json``
+so the latest numbers are diffable in review without opening the ledger.
+
+The simulation metrics are deterministic per seed, which is what makes a
+*committed* baseline meaningful: any metric drift on an unchanged
+configuration is a code change, not noise (only ``wall_time_s`` is
+host-dependent, and the gate gives it a wide guard band).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.obs.gate import samples_from_entries, write_baseline
+from repro.obs.ledger import (
+    KIND_BENCH,
+    LedgerEntry,
+    RunLedger,
+    environment_fingerprint,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_workload
+from repro.sim.schemes import Scheme
+
+BENCH_SCHEMA = 1
+SUITE_NAME = "core"
+
+#: The pinned cells. Keep this list stable — the committed baseline and
+#: BENCH_core.json are both keyed by these names.
+CORE_SUITE: Tuple[Tuple[str, Scheme], ...] = (
+    ("hmmer", Scheme.STATIC_7),
+    ("hmmer", Scheme.RRM),
+    ("GemsFDTD", Scheme.STATIC_7),
+    ("GemsFDTD", Scheme.RRM),
+)
+
+CORE_SEED = 1
+
+
+def cell_name(workload: str, scheme: Scheme) -> str:
+    return f"{SUITE_NAME}/{workload}/{scheme.value}"
+
+
+def core_config(seed: int = CORE_SEED) -> SystemConfig:
+    """The suite's pinned configuration (tiny, fixed seed)."""
+    return SystemConfig.tiny(seed=seed)
+
+
+@dataclass
+class SuiteOutcome:
+    """What one suite run produced and where it was recorded."""
+
+    entries: List[LedgerEntry]
+    ledger_path: Optional[Path] = None
+    bench_json_path: Optional[Path] = None
+    baseline_path: Optional[Path] = None
+
+
+def run_core_suite(
+    *,
+    ledger_path=None,
+    bench_json_path=None,
+    baseline_out=None,
+    progress: Optional[Callable[[str], None]] = None,
+    runner: Callable[..., object] = run_workload,
+) -> SuiteOutcome:
+    """Run every pinned cell and record the results.
+
+    Args:
+        ledger_path: append each cell to this run ledger.
+        bench_json_path: write the suite summary (``BENCH_core.json``).
+        baseline_out: also pin the fresh results as a gate baseline.
+        progress: optional per-cell status callback (the CLI prints it).
+        runner: the cell executor, injectable so tests can fake the
+            ~1 s/cell simulation.
+    """
+    config = core_config()
+    ledger = RunLedger(ledger_path) if ledger_path else None
+    entries: List[LedgerEntry] = []
+    for i, (workload, scheme) in enumerate(CORE_SUITE, start=1):
+        if progress:
+            progress(
+                f"[{i}/{len(CORE_SUITE)}] {workload}/{scheme.value} ..."
+            )
+        result = runner(config, workload, scheme)
+        entry = LedgerEntry.from_result(
+            result,
+            config,
+            kind=KIND_BENCH,
+            name=cell_name(workload, scheme),
+        )
+        if ledger is not None:
+            ledger.append(entry)
+        entries.append(entry)
+    outcome = SuiteOutcome(
+        entries=entries,
+        ledger_path=Path(ledger_path) if ledger_path else None,
+    )
+    if bench_json_path:
+        outcome.bench_json_path = write_bench_json(bench_json_path, entries)
+    if baseline_out:
+        outcome.baseline_path = write_baseline(
+            baseline_out,
+            samples_from_entries(entries),
+            fingerprint=environment_fingerprint(config),
+        )
+    return outcome
+
+
+def write_bench_json(path, entries: List[LedgerEntry]) -> Path:
+    """Write the repo-root suite summary (``BENCH_core.json``).
+
+    Host-dependent ``wall_time_s`` is excluded so the committed file
+    only changes when the simulation itself changes.
+    """
+    path = Path(path)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "suite": SUITE_NAME,
+        "config": "tiny",
+        "seed": CORE_SEED,
+        "results": [
+            {
+                "name": entry.name,
+                "metrics": {
+                    k: v
+                    for k, v in sorted(entry.metrics.items())
+                    if k != "wall_time_s"
+                },
+            }
+            for entry in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,312 @@
+"""Offline HTML dashboard: metric trends and gate verdicts, one file.
+
+:func:`render_dashboard` turns ledger entries (and optionally a gate
+report) into a **self-contained** HTML page — inline CSS, inline SVG
+sparklines, zero external requests — so it can be archived as a CI
+artifact and opened anywhere, including air-gapped review machines.
+
+Visual conventions follow the repo's chart rules: single-series
+sparklines in the series-1 blue (no legend needed for one series),
+recessive chrome, dark mode as a *selected* palette via
+``prefers-color-scheme`` rather than an automatic inversion, and status
+colors that never carry meaning alone — every verdict chip pairs its
+color with the verdict word.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.ledger import LedgerEntry, entries_by_name
+
+#: Metrics plotted when the caller doesn't choose, in display order.
+DEFAULT_DASHBOARD_METRICS = (
+    "ipc",
+    "lifetime_years",
+    "wall_time_s",
+    "avg_read_latency_ns",
+    "avg_write_latency_ns",
+    "refresh_writes",
+    "retention_violations",
+    "row_hit_rate",
+)
+
+#: Status palette (fixed, never themed) + verdict word pairing. The word
+#: is rendered next to the chip, so color never carries meaning alone.
+_VERDICT_STATUS = {
+    "regression": ("#d03b3b", "regression"),
+    "missing": ("#ec835a", "missing"),
+    "incomparable": ("#ec835a", "incomparable"),
+    "new": ("#fab219", "new"),
+    "improvement": ("#0ca30c", "improvement"),
+    "ok": ("#0ca30c", "ok"),
+    "info": ("#898781", "info"),
+}
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --border: rgba(11, 11, 11, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.meta { color: var(--text-secondary); margin-bottom: 18px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin-bottom: 14px; }
+.tile {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 10px 14px;
+  min-width: 110px;
+}
+.tile .n { font-size: 22px; }
+.tile .k { color: var(--text-secondary); font-size: 12px; }
+.chip {
+  display: inline-block;
+  width: 9px; height: 9px;
+  border-radius: 50%;
+  margin-right: 6px;
+}
+table { border-collapse: collapse; width: 100%; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px; }
+th, td { text-align: left; padding: 6px 10px; border-top: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; border-top: none; }
+td.num { font-variant-numeric: tabular-nums; }
+.cards { display: grid; grid-template-columns: repeat(auto-fill, minmax(250px, 1fr));
+  gap: 10px; }
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 10px 12px;
+}
+.card .metric { color: var(--text-secondary); font-size: 12px; }
+.card .value { font-size: 20px; }
+.card .delta { font-size: 12px; color: var(--text-secondary); }
+.spark { display: block; margin-top: 6px; }
+.empty { color: var(--muted); }
+footer { margin-top: 26px; color: var(--muted); font-size: 12px; }
+"""
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.4g}"
+
+
+def _sparkline(
+    values: Sequence[float], *, width: int = 226, height: int = 44
+) -> str:
+    """One inline SVG polyline for one metric's history (series-1 blue)."""
+    n = len(values)
+    if n == 0:
+        return ""
+    pad = 3.0
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    points = []
+    for i, v in enumerate(values):
+        x = pad + (width - 2 * pad) * (i / (n - 1) if n > 1 else 0.5)
+        # A flat series draws mid-height rather than hugging an edge.
+        fy = (v - lo) / span if span else 0.5
+        y = height - pad - (height - 2 * pad) * fy
+        points.append(f"{x:.1f},{y:.1f}")
+    last_x, last_y = points[-1].split(",")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="trend of {n} runs">'
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="var(--baseline)" stroke-width="1"/>'
+        f'<polyline points="{" ".join(points)}" fill="none" '
+        f'stroke="var(--series-1)" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="3" fill="var(--series-1)"/>'
+        f"</svg>"
+    )
+
+
+def _pick_metrics(
+    entries: Sequence[LedgerEntry], metrics: Optional[Sequence[str]]
+) -> List[str]:
+    if metrics:
+        return list(metrics)
+    available = set()
+    for entry in entries:
+        available.update(entry.metrics)
+    picked = [m for m in DEFAULT_DASHBOARD_METRICS if m in available]
+    if picked:
+        return picked
+    return sorted(available)[:8]
+
+
+def _verdict_chip(verdict: str) -> str:
+    color, word = _VERDICT_STATUS.get(verdict, ("#898781", verdict))
+    return (
+        f'<span class="chip" style="background:{color}"></span>'
+        f"{html.escape(word)}"
+    )
+
+
+def _gate_section(gate_report) -> List[str]:
+    out = ['<h2>Gate verdicts</h2>', '<div class="tiles">']
+    counts = gate_report.counts
+    for verdict, n in sorted(
+        counts.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        out.append(
+            f'<div class="tile"><div class="n">{n}</div>'
+            f'<div class="k">{_verdict_chip(verdict)}</div></div>'
+        )
+    if not counts:
+        out.append('<div class="tile"><div class="k">nothing compared</div></div>')
+    out.append("</div>")
+
+    flagged = [
+        v for v in gate_report.verdicts if v.verdict not in ("ok", "info")
+    ]
+    if flagged:
+        out.append(
+            "<table><tr><th>verdict</th><th>run</th><th>metric</th>"
+            "<th>baseline</th><th>current</th><th>delta</th></tr>"
+        )
+        for v in flagged:
+            delta = f"{v.delta:+.2%}" if v.delta is not None else "-"
+            base = (
+                _fmt_value(v.baseline_mean)
+                if v.baseline_mean is not None
+                else "-"
+            )
+            cur = (
+                _fmt_value(v.current_mean)
+                if v.current_mean is not None
+                else "-"
+            )
+            out.append(
+                f"<tr><td>{_verdict_chip(v.verdict)}</td>"
+                f"<td>{html.escape(v.name)}</td>"
+                f"<td>{html.escape(v.metric)}</td>"
+                f'<td class="num">{base}</td>'
+                f'<td class="num">{cur}</td>'
+                f'<td class="num">{delta}</td></tr>'
+            )
+        out.append("</table>")
+    else:
+        out.append('<p class="empty">No verdicts outside the guard bands.</p>')
+    return out
+
+
+def _trend_sections(
+    grouped: Dict[str, List[LedgerEntry]],
+    metrics: List[str],
+    max_points: int,
+) -> List[str]:
+    out: List[str] = []
+    for name, group in sorted(grouped.items()):
+        out.append(f"<h2>{html.escape(name)}</h2>")
+        cards: List[str] = []
+        for metric in metrics:
+            series = [e.metrics[metric] for e in group if metric in e.metrics]
+            if not series:
+                continue
+            series = series[-max_points:]
+            latest = series[-1]
+            delta_txt = f"{len(series)} run" + ("s" if len(series) != 1 else "")
+            if len(series) >= 2 and series[-2] != 0:
+                rel = latest / series[-2] - 1.0
+                delta_txt += f" &middot; {rel:+.2%} vs previous"
+            cards.append(
+                f'<div class="card"><div class="metric">'
+                f"{html.escape(metric)}</div>"
+                f'<div class="value">{_fmt_value(latest)}</div>'
+                f'<div class="delta">{delta_txt}</div>'
+                f"{_sparkline(series)}</div>"
+            )
+        if cards:
+            out.append(f'<div class="cards">{"".join(cards)}</div>')
+        else:
+            out.append('<p class="empty">No plottable metrics recorded.</p>')
+    return out
+
+
+def render_dashboard(
+    entries: Sequence[LedgerEntry],
+    *,
+    gate_report=None,
+    title: str = "repro-rrm performance observability",
+    metrics: Optional[Sequence[str]] = None,
+    max_points: int = 60,
+) -> str:
+    """Render ledger *entries* (plus an optional gate report) to HTML.
+
+    The returned string is a complete document with no external
+    references. *metrics* restricts the plotted metric set;
+    *max_points* caps each sparkline to the most recent N runs.
+    """
+    grouped = entries_by_name(list(entries))
+    picked = _pick_metrics(entries, metrics)
+    latest_fp: Dict[str, object] = {}
+    for entry in entries:
+        if entry.fingerprint:
+            latest_fp = entry.fingerprint
+    meta_bits = [
+        f"{len(entries)} ledger entr" + ("ies" if len(entries) != 1 else "y"),
+        f"{len(grouped)} run name" + ("s" if len(grouped) != 1 else ""),
+    ]
+    for key in ("git_sha", "repro_version", "config_hash"):
+        if key in latest_fp:
+            meta_bits.append(f"{key} {html.escape(str(latest_fp[key]))}")
+    body: List[str] = [
+        f"<h1>{html.escape(title)}</h1>",
+        f'<div class="meta">{" &middot; ".join(meta_bits)}</div>',
+    ]
+    if gate_report is not None:
+        body.extend(_gate_section(gate_report))
+    if grouped:
+        body.extend(_trend_sections(grouped, picked, max_points))
+    else:
+        body.append('<p class="empty">The ledger is empty.</p>')
+    body.append(
+        "<footer>Self-contained report; generated offline by "
+        "<code>repro-rrm obs dashboard</code>.</footer>"
+    )
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        '<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        "</head>\n<body>\n" + "\n".join(body) + "\n</body>\n</html>\n"
+    )

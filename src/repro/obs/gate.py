@@ -1,0 +1,432 @@
+"""Statistical regression gating over ledger entries.
+
+The gate answers one question per (entry name, metric): *is the current
+value credibly worse than the pinned baseline, beyond the metric's guard
+band?* "Worse" depends on the metric's direction — IPC up-is-good,
+refresh writes and latency down-is-good — and the guard band absorbs
+benign jitter (host-dependent wall time gets a wide band, deterministic
+simulation counters a zero one).
+
+Statistics: with one sample on each side (the common case — simulation
+metrics are deterministic per seed) the relative delta is compared to
+the threshold directly. With repeated samples, a seeded bootstrap over
+the ratio of means yields a confidence interval, and a verdict is only
+``regression``/``improvement`` when the *entire* interval clears the
+guard band — so noisy metrics fail loudly only when the evidence is
+strong. All resampling uses an injected :class:`random.Random` seed;
+gate runs are reproducible.
+
+Exit-code convention (mirrors ``repro-rrm lint``): 0 clean, 1 at least
+one regression, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.ledger import LedgerEntry
+
+Samples = Dict[str, Dict[str, List[float]]]  # name -> metric -> values
+
+DEFAULT_CONFIDENCE = 0.95
+DEFAULT_BOOTSTRAP_ROUNDS = 2000
+
+#: Verdict severities, used for report ordering.
+_VERDICT_ORDER = (
+    "regression",
+    "missing",
+    "incomparable",
+    "new",
+    "improvement",
+    "ok",
+    "info",
+)
+
+
+@dataclass(frozen=True)
+class GateRule:
+    """Direction and guard band for every metric matching a pattern."""
+
+    metric: str  # fnmatch-style pattern against the metric name
+    direction: str  # "up" = larger is better, "down" = smaller is better
+    threshold: float  # relative guard band (0.05 = 5%)
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("up", "down"):
+            raise ConfigError(
+                f"rule {self.metric!r}: direction must be 'up' or 'down', "
+                f"got {self.direction!r}"
+            )
+        if self.threshold < 0:
+            raise ConfigError(
+                f"rule {self.metric!r}: threshold must be >= 0, "
+                f"got {self.threshold}"
+            )
+
+
+#: The stock rule set. First match wins, so specific patterns precede
+#: broad ones; metrics matching no rule are reported as ``info`` only.
+DEFAULT_RULES: Tuple[GateRule, ...] = (
+    GateRule("ipc", "up", 0.01, "headline performance metric"),
+    GateRule("lifetime_years", "up", 0.01, "headline lifetime metric"),
+    GateRule("wall_time_s", "down", 0.50, "host-dependent; wide band"),
+    GateRule("retention_violations", "down", 0.0, "must never grow"),
+    GateRule("*retention_violations", "down", 0.0, "must never grow"),
+    GateRule("avg_*_latency_ns", "down", 0.05),
+    GateRule("*refresh*", "down", 0.05, "refresh overhead"),
+    GateRule("row_hit_rate", "up", 0.05),
+)
+
+
+def rule_for(
+    metric: str, rules: Sequence[GateRule] = DEFAULT_RULES
+) -> Optional[GateRule]:
+    """The first rule whose pattern matches *metric*, or None."""
+    for rule in rules:
+        if fnmatchcase(metric, rule.metric):
+            return rule
+    return None
+
+
+def load_rules(path) -> List[GateRule]:
+    """Parse a rules file: ``{"rules": [{"metric", "direction", "threshold"}]}``."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigError(f"rules file not found: {path}") from None
+    except ValueError as exc:
+        raise ConfigError(f"{path}: not valid JSON: {exc}") from None
+    raw = payload.get("rules") if isinstance(payload, dict) else None
+    if not isinstance(raw, list) or not raw:
+        raise ConfigError(f"{path}: expected a non-empty 'rules' array")
+    rules = []
+    for i, item in enumerate(raw):
+        try:
+            rules.append(
+                GateRule(
+                    metric=item["metric"],
+                    direction=item["direction"],
+                    threshold=float(item["threshold"]),
+                    note=item.get("note", ""),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"{path}: bad rule #{i}: {exc}") from None
+    return rules
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def bootstrap_rel_delta(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    *,
+    n_boot: int = DEFAULT_BOOTSTRAP_ROUNDS,
+    confidence: float = DEFAULT_CONFIDENCE,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Relative delta of means and its bootstrap CI: ``(point, lo, hi)``.
+
+    The point estimate is ``mean(current)/mean(baseline) - 1``. With a
+    single sample on both sides the interval collapses to the point
+    (simulation metrics are deterministic; there is nothing to
+    resample). The caller guarantees ``mean(baseline) != 0``.
+    """
+    base_mean = _mean(baseline)
+    point = _mean(current) / base_mean - 1.0
+    if len(baseline) == 1 and len(current) == 1:
+        return point, point, point
+    rng = random.Random(seed)
+    deltas: List[float] = []
+    for _ in range(n_boot):
+        b = _mean([rng.choice(baseline) for _ in baseline])
+        c = _mean([rng.choice(current) for _ in current])
+        if b == 0:
+            continue  # degenerate resample; skip rather than divide by 0
+        deltas.append(c / b - 1.0)
+    if not deltas:
+        return point, point, point
+    deltas.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo = deltas[int(alpha * (len(deltas) - 1))]
+    hi = deltas[int((1.0 - alpha) * (len(deltas) - 1))]
+    return point, lo, hi
+
+
+# ----------------------------------------------------------------------
+# Verdicts
+# ----------------------------------------------------------------------
+@dataclass
+class MetricVerdict:
+    """The gate's judgement of one (entry name, metric) pair."""
+
+    name: str
+    metric: str
+    verdict: str  # ok|regression|improvement|new|missing|incomparable|info
+    baseline_mean: Optional[float] = None
+    current_mean: Optional[float] = None
+    delta: Optional[float] = None  # relative: current/baseline - 1
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+    direction: Optional[str] = None
+    threshold: Optional[float] = None
+
+    def to_json_dict(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if v is not None}
+
+
+@dataclass
+class GateReport:
+    """Every verdict from one gate run, plus exit-code/report helpers."""
+
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+
+    def by_verdict(self, verdict: str) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.verdict == verdict]
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return self.by_verdict("regression")
+
+    @property
+    def improvements(self) -> List[MetricVerdict]:
+        return self.by_verdict("improvement")
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for verdict in self.verdicts:
+            out[verdict.verdict] = out.get(verdict.verdict, 0) + 1
+        return out
+
+    def exit_code(self, *, report_only: bool = False) -> int:
+        """0 clean, 1 regressions (unless *report_only*)."""
+        if report_only:
+            return 0
+        return 1 if self.regressions else 0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "counts": self.counts,
+            "verdicts": [v.to_json_dict() for v in self.verdicts],
+        }
+
+    def format_text(self, *, verbose: bool = False) -> str:
+        """Human-readable report; non-ok verdicts always shown."""
+        lines: List[str] = []
+        shown = [
+            v
+            for v in sorted(
+                self.verdicts,
+                key=lambda v: (_VERDICT_ORDER.index(v.verdict), v.name, v.metric),
+            )
+            if verbose or v.verdict not in ("ok", "info")
+        ]
+        for v in shown:
+            span = ""
+            if v.delta is not None:
+                span = f"  delta {v.delta:+.2%}"
+                if v.ci_low is not None and v.ci_low != v.ci_high:
+                    span += f"  ci [{v.ci_low:+.2%}, {v.ci_high:+.2%}]"
+            band = (
+                f"  (band {v.threshold:.0%} {v.direction}-is-good)"
+                if v.threshold is not None
+                else ""
+            )
+            lines.append(
+                f"{v.verdict.upper():<12} {v.name} :: {v.metric}{span}{band}"
+            )
+        counts = self.counts
+        summary = ", ".join(
+            f"{counts[k]} {k}" for k in _VERDICT_ORDER if counts.get(k)
+        )
+        lines.append(f"gate: {summary or 'nothing compared'}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def samples_from_entries(
+    entries: Sequence[LedgerEntry], *, last_n: Optional[int] = None
+) -> Samples:
+    """Ledger entries → per-name per-metric sample lists (chronological).
+
+    *last_n* keeps only each name's most recent N entries, which is how
+    the gate compares "the latest runs" against a pinned baseline.
+    """
+    grouped: Dict[str, List[LedgerEntry]] = {}
+    for entry in entries:
+        grouped.setdefault(entry.name, []).append(entry)
+    samples: Samples = {}
+    for name, group in grouped.items():
+        if last_n is not None:
+            group = group[-last_n:]
+        per_metric: Dict[str, List[float]] = {}
+        for entry in group:
+            for metric, value in entry.metrics.items():
+                per_metric.setdefault(metric, []).append(value)
+        samples[name] = per_metric
+    return samples
+
+
+def compare_samples(
+    baseline: Samples,
+    current: Samples,
+    *,
+    rules: Sequence[GateRule] = DEFAULT_RULES,
+    seed: int = 0,
+    n_boot: int = DEFAULT_BOOTSTRAP_ROUNDS,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> GateReport:
+    """Judge *current* against *baseline* under *rules*."""
+    report = GateReport()
+    for name in sorted(set(baseline) | set(current)):
+        base_metrics = baseline.get(name)
+        cur_metrics = current.get(name)
+        if cur_metrics is None:
+            report.verdicts.append(
+                MetricVerdict(name=name, metric="*", verdict="missing")
+            )
+            continue
+        if base_metrics is None:
+            report.verdicts.append(
+                MetricVerdict(name=name, metric="*", verdict="new")
+            )
+            continue
+        for metric in sorted(set(base_metrics) | set(cur_metrics)):
+            report.verdicts.append(
+                _judge_metric(
+                    name,
+                    metric,
+                    base_metrics.get(metric),
+                    cur_metrics.get(metric),
+                    rules,
+                    seed=seed,
+                    n_boot=n_boot,
+                    confidence=confidence,
+                )
+            )
+    return report
+
+
+def _judge_metric(
+    name: str,
+    metric: str,
+    base: Optional[List[float]],
+    cur: Optional[List[float]],
+    rules: Sequence[GateRule],
+    *,
+    seed: int,
+    n_boot: int,
+    confidence: float,
+) -> MetricVerdict:
+    if not cur:
+        return MetricVerdict(name=name, metric=metric, verdict="missing")
+    if not base:
+        return MetricVerdict(
+            name=name, metric=metric, verdict="new", current_mean=_mean(cur)
+        )
+    rule = rule_for(metric, rules)
+    base_mean, cur_mean = _mean(base), _mean(cur)
+    common = dict(
+        name=name,
+        metric=metric,
+        baseline_mean=base_mean,
+        current_mean=cur_mean,
+        direction=rule.direction if rule else None,
+        threshold=rule.threshold if rule else None,
+    )
+    if base_mean == 0:
+        if cur_mean == 0:
+            verdict = "info" if rule is None else "ok"
+            return MetricVerdict(verdict=verdict, delta=0.0, **common)
+        if rule is None:
+            return MetricVerdict(verdict="info", **common)
+        # A metric appearing from zero: its direction decides directly.
+        grew_is_bad = rule.direction == "down"
+        worse = cur_mean > 0 if grew_is_bad else cur_mean < 0
+        return MetricVerdict(
+            verdict="regression" if worse else "improvement", **common
+        )
+    delta, lo, hi = bootstrap_rel_delta(
+        base, cur, n_boot=n_boot, confidence=confidence, seed=seed
+    )
+    common.update(delta=delta, ci_low=lo, ci_high=hi)
+    if rule is None:
+        return MetricVerdict(verdict="info", **common)
+    if rule.direction == "up":
+        if hi < -rule.threshold:
+            verdict = "regression"
+        elif lo > rule.threshold:
+            verdict = "improvement"
+        else:
+            verdict = "ok"
+    else:
+        if lo > rule.threshold:
+            verdict = "regression"
+        elif hi < -rule.threshold:
+            verdict = "improvement"
+        else:
+            verdict = "ok"
+    return MetricVerdict(verdict=verdict, **common)
+
+
+# ----------------------------------------------------------------------
+# Pinned baselines
+# ----------------------------------------------------------------------
+BASELINE_SCHEMA = 1
+
+
+def write_baseline(
+    path, samples: Samples, *, fingerprint: Optional[dict] = None
+) -> Path:
+    """Pin *samples* as the committed comparison anchor."""
+    path = Path(path)
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "fingerprint": fingerprint or {},
+        "samples": {
+            name: {metric: list(values) for metric, values in metrics.items()}
+            for name, metrics in samples.items()
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_baseline(path) -> Samples:
+    """Load a baseline written by :func:`write_baseline`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigError(f"baseline file not found: {path}") from None
+    except ValueError as exc:
+        raise ConfigError(f"{path}: not valid JSON: {exc}") from None
+    samples = payload.get("samples") if isinstance(payload, dict) else None
+    if not isinstance(samples, dict):
+        raise ConfigError(f"{path}: expected a 'samples' object")
+    out: Samples = {}
+    for name, metrics in samples.items():
+        if not isinstance(metrics, dict):
+            raise ConfigError(f"{path}: baseline entry {name!r} is not an object")
+        out[name] = {
+            metric: [float(v) for v in values]
+            for metric, values in metrics.items()
+            if isinstance(values, list) and values
+        }
+    return out

@@ -1,0 +1,259 @@
+"""Append-only run ledger: the longitudinal record behind every gate.
+
+One :class:`LedgerEntry` per finished run / sweep cell / benchmark, one
+JSON line per entry, appended in completion order. Each entry carries a
+flat numeric metric map (typically a metric-registry snapshot merged
+with the :class:`~repro.sim.metrics.SimResult` reporting view) plus an
+environment fingerprint — git revision, seed, configuration hash,
+package version — so two entries can always be judged comparable (or
+not) before their numbers are compared.
+
+Durability follows the checkpoint-journal convention
+(:mod:`repro.resilience.journal`): appends go through a temp file +
+``os.replace`` so readers never see a torn file, the loader drops a
+truncated *final* line, and corruption anywhere earlier raises
+:class:`~repro.errors.LedgerCorruptError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import LedgerCorruptError
+
+LEDGER_SCHEMA = 1
+
+#: Entry kinds the tooling understands (free-form strings are accepted;
+#: these are the ones the CLI writes).
+KIND_RUN = "run"
+KIND_SWEEP = "sweep"
+KIND_BENCH = "bench"
+
+
+# ----------------------------------------------------------------------
+# Environment fingerprinting
+# ----------------------------------------------------------------------
+def git_revision(cwd=None) -> str:
+    """The current short git revision, or ``"unknown"`` outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def config_hash(config) -> str:
+    """A short stable digest of a configuration object.
+
+    Dataclasses hash their field tree; anything else hashes its
+    ``repr``. Two runs with equal hashes used the same configuration.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = json.dumps(
+            dataclasses.asdict(config), sort_keys=True, default=repr
+        )
+    else:
+        payload = repr(config)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def environment_fingerprint(
+    config=None, *, seed: Optional[int] = None
+) -> Dict[str, object]:
+    """The comparability stamp written into every ledger entry."""
+    from repro import __version__
+
+    fingerprint: Dict[str, object] = {
+        "git_sha": git_revision(),
+        "python": platform.python_version(),
+        "repro_version": __version__,
+    }
+    if config is not None:
+        fingerprint["config_hash"] = config_hash(config)
+        seed = getattr(config, "seed", seed) if seed is None else seed
+    if seed is not None:
+        fingerprint["seed"] = seed
+    return fingerprint
+
+
+# ----------------------------------------------------------------------
+# Entries
+# ----------------------------------------------------------------------
+@dataclass
+class LedgerEntry:
+    """One recorded run: a named, fingerprinted bag of numeric metrics."""
+
+    kind: str
+    name: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    fingerprint: Dict[str, object] = field(default_factory=dict)
+    recorded_unix_s: float = 0.0
+    schema: int = LEDGER_SCHEMA
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "kind": self.kind,
+            "name": self.name,
+            "metrics": dict(self.metrics),
+            "fingerprint": dict(self.fingerprint),
+            "recorded_unix_s": self.recorded_unix_s,
+        }
+
+    @classmethod
+    def from_json_dict(cls, d: dict) -> "LedgerEntry":
+        return cls(
+            kind=d.get("kind", "run"),
+            name=d.get("name", "?"),
+            metrics={
+                k: v
+                for k, v in (d.get("metrics") or {}).items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            },
+            fingerprint=dict(d.get("fingerprint") or {}),
+            recorded_unix_s=float(d.get("recorded_unix_s", 0.0)),
+            schema=int(d.get("schema", LEDGER_SCHEMA)),
+        )
+
+    @classmethod
+    def from_result(
+        cls,
+        result,
+        config=None,
+        *,
+        kind: str = KIND_RUN,
+        name: Optional[str] = None,
+        extra_metrics: Optional[Dict[str, float]] = None,
+    ) -> "LedgerEntry":
+        """Build an entry from a :class:`~repro.sim.metrics.SimResult`.
+
+        Metrics are the numeric fields of ``result.as_dict()`` plus
+        ``wall_time_s``; *extra_metrics* (e.g. a registry snapshot's
+        numeric values) are merged on top.
+        """
+        metrics: Dict[str, float] = {
+            key: value
+            for key, value in result.as_dict().items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        metrics["wall_time_s"] = result.wall_time_s
+        if extra_metrics:
+            metrics.update(
+                {
+                    k: v
+                    for k, v in extra_metrics.items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                }
+            )
+        return cls(
+            kind=kind,
+            name=name or f"{result.workload}/{result.scheme.value}",
+            metrics=metrics,
+            fingerprint=environment_fingerprint(config),
+        )
+
+
+# ----------------------------------------------------------------------
+# The ledger store
+# ----------------------------------------------------------------------
+class RunLedger:
+    """The append-only JSONL store of :class:`LedgerEntry` records."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.entries_appended = 0
+
+    def register_metrics(self, registry, prefix: str = "obs.ledger") -> None:
+        """Publish the ledger's write counter into a telemetry registry."""
+        registry.gauge(f"{prefix}.entries_appended", lambda: self.entries_appended)
+
+    def append(self, entry: LedgerEntry) -> LedgerEntry:
+        """Durably append one entry (stamping its record time if unset)."""
+        if not entry.recorded_unix_s:
+            entry.recorded_unix_s = time.time()
+        existing = ""
+        if self.path.exists():
+            existing = self.path.read_text(encoding="utf-8")
+            if existing and not existing.endswith("\n"):
+                existing += "\n"
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            existing + json.dumps(entry.to_json_dict()) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)
+        self.entries_appended += 1
+        return entry
+
+    def read(self) -> List[LedgerEntry]:
+        return self.load(self.path)
+
+    @staticmethod
+    def load(path) -> List[LedgerEntry]:
+        """Every entry in *path*, oldest first.
+
+        A truncated final line (torn write) is dropped; a bad line
+        anywhere earlier raises :class:`LedgerCorruptError`. A missing
+        file raises :class:`FileNotFoundError` like any reader would.
+        """
+        path = Path(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        entries: List[LedgerEntry] = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                if lineno == len(lines):
+                    break  # torn final append: the entry simply re-records
+                raise LedgerCorruptError(
+                    f"{path}: bad ledger line {lineno}: {exc}"
+                ) from None
+            if not isinstance(record, dict):
+                raise LedgerCorruptError(
+                    f"{path}: ledger line {lineno} is not an object"
+                )
+            entries.append(LedgerEntry.from_json_dict(record))
+        return entries
+
+
+# ----------------------------------------------------------------------
+# Read-side helpers (gate and dashboard both consume these)
+# ----------------------------------------------------------------------
+def entries_by_name(
+    entries: List[LedgerEntry],
+) -> Dict[str, List[LedgerEntry]]:
+    """Group entries by name, preserving append (chronological) order."""
+    grouped: Dict[str, List[LedgerEntry]] = {}
+    for entry in entries:
+        grouped.setdefault(entry.name, []).append(entry)
+    return grouped
+
+
+def metric_series(
+    entries: List[LedgerEntry], name: str, metric: str
+) -> List[float]:
+    """The chronological values of one metric for one entry name."""
+    return [
+        entry.metrics[metric]
+        for entry in entries
+        if entry.name == name and metric in entry.metrics
+    ]

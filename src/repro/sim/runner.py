@@ -96,6 +96,10 @@ class ExperimentRunner:
             (``Tracer.wallclock()``); job lifecycle transitions and
             journal appends are recorded as instant events (category
             ``sweep`` / ``journal``), giving an orchestration timeline.
+        on_event: optional ``(name, args)`` observer for the same
+            supervisor lifecycle events the tracer sees (``job.attempt``
+            / ``job.result`` / ``job.retry`` / ``job.failed``); used by
+            :class:`~repro.obs.progress.SweepProgress`.
     """
 
     def __init__(
@@ -111,6 +115,7 @@ class ExperimentRunner:
         journal_path=None,
         fault_plan: Optional[FaultPlan] = None,
         tracer=NULL_TRACER,
+        on_event=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -128,13 +133,17 @@ class ExperimentRunner:
         self.journal_path = journal_path
         self.fault_plan = fault_plan
         self.tracer = tracer
+        self.on_event = on_event
         self.results: Dict[ResultKey, SimResult] = {}
         self.failures: Dict[ResultKey, FailedRun] = {}
         self._journal: Optional[ResultJournal] = None
 
     def _on_supervisor_event(self, name: str, args: dict) -> None:
-        """Forward supervisor lifecycle transitions to the sweep tracer."""
+        """Forward supervisor lifecycle transitions to the sweep tracer
+        and to any external observer (e.g. a progress reporter)."""
         self.tracer.instant(name, "sweep", args=args)
+        if self.on_event is not None:
+            self.on_event(name, args)
 
     # ------------------------------------------------------------------
     def run_all(self, progress=None) -> Dict[ResultKey, SimResult]:
@@ -191,7 +200,9 @@ class ExperimentRunner:
             seed=self.config.seed,
             validate=_validate_sim_result,
             on_event=(
-                self._on_supervisor_event if self.tracer.enabled else None
+                self._on_supervisor_event
+                if (self.tracer.enabled or self.on_event is not None)
+                else None
             ),
         )
         supervisor.run(jobs, on_result=on_result, on_failure=on_failure)

@@ -69,7 +69,12 @@ def load_trace(path) -> List[dict]:
         return obj
     if not isinstance(obj, dict) or "traceEvents" not in obj:
         raise TraceFormatError(f"{path}: no traceEvents array")
-    return obj["traceEvents"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceFormatError(
+            f"{path}: traceEvents is {type(events).__name__}, not a list"
+        )
+    return events
 
 
 def validate_chrome_trace(events: List[dict]) -> List[str]:
@@ -136,23 +141,37 @@ def summarize_trace(events: List[dict], top_spans: int = 10) -> TraceSummary:
     t_min: Optional[float] = None
     t_max: Optional[float] = None
     for event in events:
+        if not isinstance(event, dict):
+            # Garbage rows still count (so the digest reflects the file)
+            # but are bucketed under "?" rather than crashing the tally.
+            summary.n_events += 1
+            phases["?"] += 1
+            cats["?"] += 1
+            continue
         ph = event.get("ph")
         if ph == PH_METADATA:
             continue
+        if not isinstance(ph, str):
+            ph = "?"
         summary.n_events += 1
         phases[ph] += 1
-        cats[event.get("cat", "default")] += 1
+        cats[str(event.get("cat") or "default")] += 1
         ts = event.get("ts", 0.0)
+        if not isinstance(ts, (int, float)):
+            ts = 0.0
         end = ts
         if ph == PH_COMPLETE:
-            end = ts + event.get("dur", 0.0)
+            dur = event.get("dur", 0.0)
+            if not isinstance(dur, (int, float)):
+                dur = 0.0
+            end = ts + dur
             spans.append(
-                (event.get("dur", 0.0), event.get("name", "?"),
-                 event.get("cat", "default"), ts)
+                (float(dur), str(event.get("name") or "?"),
+                 str(event.get("cat") or "default"), float(ts))
             )
         elif ph == PH_COUNTER:
             series = summary.counter_series.setdefault(
-                event.get("name", "?"), []
+                str(event.get("name") or "?"), []
             )
             for key in (event.get("args") or {}):
                 if key not in series:

@@ -78,9 +78,13 @@ class TestParser:
 
     def test_trace_subcommand_options(self):
         args = build_parser().parse_args(["trace", "t.json", "--check"])
-        assert args.file == "t.json"
+        assert args.file == ["t.json"]
         assert args.check
         assert args.top == 10
+
+    def test_trace_diff_parses(self):
+        args = build_parser().parse_args(["trace", "diff", "a.json", "b.json"])
+        assert args.file == ["diff", "a.json", "b.json"]
 
     def test_lint_defaults(self):
         args = build_parser().parse_args(["lint"])

@@ -1,0 +1,705 @@
+"""Tests for the performance-observability layer (repro.obs).
+
+Covers the run ledger (durability, fingerprinting), the statistical
+regression gate (rules, bootstrap, verdicts, the injected-slowdown
+acceptance case), trace diffing, the progress reporters (including the
+non-perturbation guarantee), the offline dashboard, the pinned core
+suite, and the ``repro-rrm obs`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, LedgerCorruptError
+from repro.obs import (
+    CORE_SUITE,
+    GateRule,
+    LedgerEntry,
+    RunLedger,
+    RunProgress,
+    SweepProgress,
+    bootstrap_rel_delta,
+    cell_name,
+    compare_samples,
+    config_hash,
+    diff_traces,
+    entries_by_name,
+    environment_fingerprint,
+    format_trace_diff,
+    git_revision,
+    load_baseline,
+    load_rules,
+    metric_series,
+    render_dashboard,
+    rule_for,
+    run_core_suite,
+    samples_from_entries,
+    span_stats,
+    write_baseline,
+)
+from repro.obs.progress import _format_count, _format_eta
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_workload
+from repro.sim.schemes import Scheme
+from repro.sim.system import System
+
+
+def _entry(name="core/hmmer/RRM", **metrics) -> LedgerEntry:
+    if not metrics:
+        metrics = {"ipc": 1.0, "wall_time_s": 1.0}
+    return LedgerEntry(kind="bench", name=name, metrics=metrics)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    """One real tiny run, shared across the module's integration tests."""
+    return run_workload(SystemConfig.tiny(seed=1), "hmmer", Scheme.RRM)
+
+
+# ======================================================================
+# Ledger
+# ======================================================================
+class TestLedger:
+    def test_append_read_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led.jsonl")
+        ledger.append(_entry(ipc=2.0, wall_time_s=0.5))
+        ledger.append(_entry(name="core/x/RRM", ipc=1.5, wall_time_s=0.7))
+        entries = ledger.read()
+        assert [e.name for e in entries] == ["core/hmmer/RRM", "core/x/RRM"]
+        assert entries[0].metrics == {"ipc": 2.0, "wall_time_s": 0.5}
+        assert entries[0].kind == "bench"
+        assert ledger.entries_appended == 2
+
+    def test_append_stamps_record_time(self, tmp_path):
+        ledger = RunLedger(tmp_path / "led.jsonl")
+        entry = ledger.append(_entry())
+        assert entry.recorded_unix_s > 0
+        assert ledger.read()[0].recorded_unix_s == entry.recorded_unix_s
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        RunLedger(path).append(_entry())
+        with path.open("a", encoding="utf-8") as f:
+            f.write('{"kind": "bench", "name": "torn')  # no newline, torn
+        entries = RunLedger.load(path)
+        assert len(entries) == 1
+
+    def test_corruption_before_final_line_raises(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        ledger = RunLedger(path)
+        ledger.append(_entry())
+        text = path.read_text(encoding="utf-8")
+        path.write_text("not json at all\n" + text, encoding="utf-8")
+        with pytest.raises(LedgerCorruptError):
+            RunLedger.load(path)
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        path.write_text('[1, 2, 3]\n{"kind": "run", "name": "x"}\n')
+        with pytest.raises(LedgerCorruptError):
+            RunLedger.load(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunLedger.load(tmp_path / "absent.jsonl")
+
+    def test_from_json_dict_filters_non_numeric_metrics(self):
+        entry = LedgerEntry.from_json_dict(
+            {
+                "kind": "run",
+                "name": "n",
+                "metrics": {"ipc": 1.0, "note": "hi", "flag": True, "n": 3},
+            }
+        )
+        assert entry.metrics == {"ipc": 1.0, "n": 3}
+
+    def test_from_result_names_and_metrics(self, tiny_result):
+        entry = LedgerEntry.from_result(tiny_result, SystemConfig.tiny(seed=1))
+        assert entry.name == "hmmer/RRM"
+        assert entry.metrics["ipc"] == pytest.approx(tiny_result.ipc)
+        assert entry.metrics["wall_time_s"] == tiny_result.wall_time_s
+        assert entry.fingerprint["seed"] == 1
+        assert "config_hash" in entry.fingerprint
+        assert all(
+            isinstance(v, (int, float)) for v in entry.metrics.values()
+        )
+
+    def test_from_result_extra_metrics_win(self, tiny_result):
+        entry = LedgerEntry.from_result(
+            tiny_result, extra_metrics={"extra.depth": 4, "bad": "nope"}
+        )
+        assert entry.metrics["extra.depth"] == 4
+        assert "bad" not in entry.metrics
+
+    def test_entries_by_name_and_metric_series(self):
+        entries = [
+            _entry(ipc=1.0),
+            _entry(name="other", ipc=9.0),
+            _entry(ipc=2.0),
+        ]
+        grouped = entries_by_name(entries)
+        assert set(grouped) == {"core/hmmer/RRM", "other"}
+        assert len(grouped["core/hmmer/RRM"]) == 2
+        assert metric_series(entries, "core/hmmer/RRM", "ipc") == [1.0, 2.0]
+        assert metric_series(entries, "core/hmmer/RRM", "absent") == []
+
+
+class TestFingerprint:
+    def test_config_hash_deterministic_and_seed_sensitive(self):
+        a = SystemConfig.tiny(seed=1)
+        assert config_hash(a) == config_hash(SystemConfig.tiny(seed=1))
+        assert config_hash(a) != config_hash(SystemConfig.tiny(seed=2))
+
+    def test_environment_fingerprint_fields(self):
+        fp = environment_fingerprint(SystemConfig.tiny(seed=3))
+        assert {"git_sha", "python", "repro_version", "config_hash"} <= set(fp)
+        assert fp["seed"] == 3
+
+    def test_git_revision_unknown_outside_repo(self, tmp_path):
+        assert git_revision(cwd=tmp_path) == "unknown"
+
+
+# ======================================================================
+# Gate: rules, statistics, verdicts
+# ======================================================================
+class TestGateRules:
+    def test_first_match_wins(self):
+        assert rule_for("ipc").direction == "up"
+        assert rule_for("refresh_writes").direction == "down"
+        assert rule_for("pcm.retention_violations").threshold == 0.0
+        assert rule_for("made_up_metric") is None
+
+    def test_invalid_rules_raise(self):
+        with pytest.raises(ConfigError):
+            GateRule("x", "sideways", 0.1)
+        with pytest.raises(ConfigError):
+            GateRule("x", "up", -0.1)
+
+    def test_load_rules_round_trip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "rules": [
+                        {"metric": "ipc", "direction": "up", "threshold": 0.02}
+                    ]
+                }
+            )
+        )
+        rules = load_rules(path)
+        assert rules[0].metric == "ipc" and rules[0].threshold == 0.02
+
+    def test_load_rules_errors(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_rules(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ConfigError):
+            load_rules(bad)
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"rules": []}')
+        with pytest.raises(ConfigError):
+            load_rules(empty)
+        missing_key = tmp_path / "mk.json"
+        missing_key.write_text('{"rules": [{"metric": "ipc"}]}')
+        with pytest.raises(ConfigError):
+            load_rules(missing_key)
+
+
+class TestBootstrap:
+    def test_single_sample_collapses_to_point(self):
+        point, lo, hi = bootstrap_rel_delta([2.0], [3.0])
+        assert point == pytest.approx(0.5)
+        assert lo == hi == point
+
+    def test_deterministic_for_seed(self):
+        base = [1.0, 1.1, 0.9, 1.05]
+        cur = [1.2, 1.3, 1.25, 1.15]
+        assert bootstrap_rel_delta(base, cur, seed=7) == bootstrap_rel_delta(
+            base, cur, seed=7
+        )
+
+    def test_interval_brackets_point(self):
+        base = [1.0, 1.1, 0.9, 1.05, 0.95]
+        cur = [1.5, 1.6, 1.45, 1.55, 1.5]
+        point, lo, hi = bootstrap_rel_delta(base, cur, seed=1)
+        assert lo <= point <= hi
+        assert lo < hi  # repeated samples yield a real interval
+
+
+class TestCompare:
+    def test_identical_samples_all_ok(self):
+        samples = {"a": {"ipc": [2.0], "wall_time_s": [1.0]}}
+        report = compare_samples(samples, samples)
+        assert not report.regressions
+        assert report.exit_code() == 0
+        assert report.counts.get("ok") == 2
+
+    def test_injected_slowdown_flags_regression(self):
+        base = {"a": {"wall_time_s": [1.0], "ipc": [2.0]}}
+        cur = {"a": {"wall_time_s": [3.0], "ipc": [2.0]}}  # 3x slower
+        report = compare_samples(base, cur)
+        assert [v.metric for v in report.regressions] == ["wall_time_s"]
+        assert report.regressions[0].delta == pytest.approx(2.0)
+        assert report.exit_code() == 1
+        assert report.exit_code(report_only=True) == 0
+
+    def test_ipc_direction(self):
+        base = {"a": {"ipc": [2.0]}}
+        down = compare_samples(base, {"a": {"ipc": [1.8]}})
+        assert down.regressions and down.regressions[0].metric == "ipc"
+        up = compare_samples(base, {"a": {"ipc": [2.2]}})
+        assert up.improvements and not up.regressions
+
+    def test_within_guard_band_is_ok(self):
+        base = {"a": {"wall_time_s": [1.0]}}
+        report = compare_samples(base, {"a": {"wall_time_s": [1.3]}})
+        assert not report.regressions  # +30% inside the 50% band
+
+    def test_zero_baseline_growth_regresses_down_metrics(self):
+        base = {"a": {"retention_violations": [0.0]}}
+        grown = compare_samples(base, {"a": {"retention_violations": [2.0]}})
+        assert grown.regressions
+        still_zero = compare_samples(
+            base, {"a": {"retention_violations": [0.0]}}
+        )
+        assert not still_zero.regressions
+
+    def test_missing_and_new_names(self):
+        report = compare_samples(
+            {"gone": {"ipc": [1.0]}}, {"fresh": {"ipc": [1.0]}}
+        )
+        verdicts = {(v.name, v.verdict) for v in report.verdicts}
+        assert ("gone", "missing") in verdicts
+        assert ("fresh", "new") in verdicts
+
+    def test_unruled_metric_is_info_only(self):
+        base = {"a": {"mystery": [1.0]}}
+        report = compare_samples(base, {"a": {"mystery": [100.0]}})
+        assert report.by_verdict("info") and not report.regressions
+
+    def test_format_text_mentions_flags_and_summary(self):
+        report = compare_samples(
+            {"a": {"wall_time_s": [1.0]}}, {"a": {"wall_time_s": [3.0]}}
+        )
+        text = report.format_text()
+        assert "REGRESSION" in text and "wall_time_s" in text
+        assert text.splitlines()[-1].startswith("gate:")
+
+    def test_samples_from_entries_last_n(self):
+        entries = [_entry(ipc=v) for v in (1.0, 2.0, 3.0)]
+        assert samples_from_entries(entries)["core/hmmer/RRM"]["ipc"] == [
+            1.0,
+            2.0,
+            3.0,
+        ]
+        assert samples_from_entries(entries, last_n=1)["core/hmmer/RRM"][
+            "ipc"
+        ] == [3.0]
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "base.json"
+        samples = {"a": {"ipc": [1.5, 1.6]}}
+        write_baseline(path, samples, fingerprint={"git_sha": "abc"})
+        assert load_baseline(path) == samples
+        payload = json.loads(path.read_text())
+        assert payload["fingerprint"]["git_sha"] == "abc"
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_baseline(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ConfigError):
+            load_baseline(bad)
+        no_samples = tmp_path / "ns.json"
+        no_samples.write_text('{"schema": 1}')
+        with pytest.raises(ConfigError):
+            load_baseline(no_samples)
+
+
+# ======================================================================
+# Trace diff
+# ======================================================================
+def _span(name, dur, ts=0.0):
+    return {"ph": "X", "name": name, "cat": "c", "ts": ts, "dur": dur}
+
+
+class TestTraceDiff:
+    def test_span_stats_aggregates_complete_events_only(self):
+        events = [
+            _span("write", 2.0),
+            _span("write", 4.0),
+            {"ph": "i", "name": "write", "ts": 0.0},
+            {"ph": "M", "name": "meta"},
+        ]
+        stats = span_stats(events)
+        assert stats["write"].count == 2
+        assert stats["write"].total_us == pytest.approx(6.0)
+        assert stats["write"].mean_us == pytest.approx(3.0)
+        assert stats["write"].max_us == pytest.approx(4.0)
+
+    def test_diff_alignment_and_ordering(self):
+        a = [_span("read", 1.0), _span("read", 1.0), _span("old", 5.0)]
+        b = [_span("read", 1.0), _span("fresh", 50.0)]
+        diff = diff_traces(a, b)
+        assert [r.name for r in diff.added] == ["fresh"]
+        assert [r.name for r in diff.removed] == ["old"]
+        assert [r.name for r in diff.common] == ["read"]
+        # Largest |total delta| first: fresh (+50) > old (-5) > read (-1).
+        assert [r.name for r in diff.rows] == ["fresh", "old", "read"]
+        read = diff.common[0]
+        assert read.count_delta == -1
+        assert read.total_delta_us == pytest.approx(-1.0)
+
+    def test_format_reports_counts_and_deltas(self):
+        text = format_trace_diff(
+            diff_traces([_span("x", 1.0)], [_span("x", 3.0)])
+        )
+        assert "1 common, 0 added, 0 removed" in text
+        assert "dtotal=+2.0us" in text
+
+    def test_format_empty(self):
+        assert "no spans" in format_trace_diff(diff_traces([], []))
+
+    def test_percentile_interpolation(self):
+        from repro.obs.tracediff import percentile
+
+        assert percentile([], 0.95) == 0.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+        assert percentile([0.0, 10.0], 0.95) == pytest.approx(9.5)
+
+
+# ======================================================================
+# Progress reporters
+# ======================================================================
+class TestRunProgress:
+    def test_does_not_perturb_results(self, tiny_result):
+        config = SystemConfig.tiny(seed=1)
+        system = System(config, "hmmer", Scheme.RRM)
+        stream = io.StringIO()
+        progress = RunProgress(system, stream=stream, updates=7)
+        progress.register_metrics(system.telemetry.registry)
+        progress.attach()
+        result = system.run()
+        progress.close()
+        observed = result.as_dict()
+        plain = tiny_result.as_dict()
+        assert observed == plain
+        # The tick at exactly t=duration may or may not run depending on
+        # end-of-run ordering; everything before it must have.
+        assert progress.ticks >= 6
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        assert len(lines) == progress.ticks
+        assert "ETA" in lines[0] and "ev" in lines[0]
+        assert lines[-1].startswith("run ")
+
+    def test_validation(self):
+        system = System(SystemConfig.tiny(seed=1), "hmmer", Scheme.RRM)
+        with pytest.raises(ConfigError):
+            RunProgress(system, updates=0)
+        with pytest.raises(ConfigError):
+            RunProgress(system, interval_s=0)
+        progress = RunProgress(system, stream=io.StringIO())
+        progress.attach()
+        with pytest.raises(ConfigError):
+            progress.attach()
+
+    def test_formatters(self):
+        assert _format_eta(5) == "0:05"
+        assert _format_eta(3700) == "1:01:40"
+        assert _format_eta(float("nan")) == "--:--"
+        assert _format_eta(-1) == "--:--"
+        assert _format_count(950) == "950"
+        assert _format_count(1200) == "1.2k"
+        assert _format_count(2.5e6) == "2.5M"
+
+
+class TestSweepProgress:
+    def test_counters_follow_lifecycle(self):
+        stream = io.StringIO()
+        progress = SweepProgress(3, stream=stream, clock=lambda: 0.0)
+        progress.on_event("job.attempt", {"key": "a"})
+        progress.on_event("job.result", {"key": "a"})
+        progress.on_event("job.attempt", {"key": "b"})
+        progress.on_event("job.retry", {"key": "b"})
+        progress.on_event("job.attempt", {"key": "b"})
+        progress.on_event("job.failed", {"key": "b"})
+        progress.on_event("job.unknown", {})  # ignored, no redraw
+        progress.close()
+        assert progress.completed == 1
+        assert progress.failed == 1
+        assert progress.retries == 1
+        assert progress.running == 0
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 6
+        assert "2/3 settled" in lines[-1]
+
+    def test_register_metrics(self):
+        from repro.telemetry import MetricRegistry
+
+        progress = SweepProgress(1, stream=io.StringIO())
+        registry = MetricRegistry()
+        progress.register_metrics(registry)
+        progress.on_event("job.attempt", {})
+        assert registry.get("obs.progress.attempts").value() == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SweepProgress(-1)
+
+
+# ======================================================================
+# Dashboard
+# ======================================================================
+class TestDashboard:
+    def test_self_contained_with_sparklines_and_verdicts(self):
+        entries = [
+            _entry(ipc=v, wall_time_s=1.0 + 0.1 * i)
+            for i, v in enumerate((1.0, 1.2, 1.1))
+        ]
+        report = compare_samples(
+            {"core/hmmer/RRM": {"ipc": [2.0]}},
+            samples_from_entries(entries, last_n=1),
+        )
+        html_text = render_dashboard(entries, gate_report=report)
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<svg" in html_text
+        assert "regression" in html_text
+        assert "http" not in html_text  # no external references
+        assert "prefers-color-scheme" in html_text
+
+    def test_escapes_names(self):
+        entries = [_entry(name="<evil>&name", ipc=1.0)]
+        html_text = render_dashboard(entries)
+        assert "<evil>" not in html_text
+        assert "&lt;evil&gt;" in html_text
+
+    def test_empty_ledger(self):
+        html_text = render_dashboard([])
+        assert "ledger is empty" in html_text
+
+    def test_flat_series_and_metric_selection(self):
+        entries = [_entry(ipc=1.0), _entry(ipc=1.0)]
+        html_text = render_dashboard(entries, metrics=["ipc"])
+        assert html_text.count("<svg") == 1
+        assert "wall_time_s" not in html_text
+
+
+# ======================================================================
+# Pinned core suite
+# ======================================================================
+class _FakeResult:
+    def __init__(self, workload, scheme):
+        self.workload = workload
+        self.scheme = scheme
+        self.wall_time_s = 0.01
+
+    def as_dict(self):
+        return {"ipc": 1.5, "refresh_writes": 10, "label": "text"}
+
+
+class TestBenchSuite:
+    def test_suite_records_everywhere(self, tmp_path):
+        ledger_path = tmp_path / "led.jsonl"
+        bench_json = tmp_path / "BENCH_core.json"
+        baseline = tmp_path / "base.json"
+        outcome = run_core_suite(
+            ledger_path=ledger_path,
+            bench_json_path=bench_json,
+            baseline_out=baseline,
+            runner=lambda config, w, s: _FakeResult(w, s),
+        )
+        assert len(outcome.entries) == len(CORE_SUITE)
+        names = [e.name for e in outcome.entries]
+        assert names[0] == cell_name(*CORE_SUITE[0])
+        assert all(n.startswith("core/") for n in names)
+        # Ledger got every cell, with bench kind.
+        entries = RunLedger.load(ledger_path)
+        assert [e.kind for e in entries] == ["bench"] * len(CORE_SUITE)
+        # BENCH_core.json excludes host-dependent wall time.
+        payload = json.loads(bench_json.read_text())
+        assert payload["suite"] == "core" and payload["schema"] == 1
+        assert len(payload["results"]) == len(CORE_SUITE)
+        assert all(
+            "wall_time_s" not in r["metrics"] for r in payload["results"]
+        )
+        # The pinned baseline gates green against the same results.
+        report = compare_samples(
+            load_baseline(baseline), samples_from_entries(entries)
+        )
+        assert not report.regressions
+
+    def test_progress_callback_fires_per_cell(self, tmp_path):
+        seen = []
+        run_core_suite(
+            progress=seen.append,
+            runner=lambda config, w, s: _FakeResult(w, s),
+        )
+        assert len(seen) == len(CORE_SUITE)
+
+
+# ======================================================================
+# CLI integration
+# ======================================================================
+class TestObsCLI:
+    def test_bench_gate_tamper_dashboard_flow(self, capsys, tmp_path):
+        """The acceptance path: bench -> green gate -> injected 3x
+        slowdown flags -> dashboard renders offline."""
+        ledger = tmp_path / "led.jsonl"
+        bench_json = tmp_path / "BENCH_core.json"
+        baseline = tmp_path / "base.json"
+        code = main(
+            ["obs", "bench", "--ledger", str(ledger),
+             "--bench-json", str(bench_json), "--baseline-out", str(baseline)]
+        )
+        assert code == 0
+        assert bench_json.exists()
+        capsys.readouterr()
+
+        # Identical re-read gates green.
+        assert main(
+            ["obs", "gate", "--ledger", str(ledger),
+             "--baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+
+        # Inject a ~3x slowdown and the gate flags it...
+        entries = RunLedger.load(ledger)
+        slow = RunLedger(tmp_path / "slow.jsonl")
+        for e in entries:
+            m = dict(e.metrics)
+            m["wall_time_s"] *= 3.0
+            slow.append(LedgerEntry(kind=e.kind, name=e.name, metrics=m))
+        assert main(
+            ["obs", "gate", "--ledger", str(slow.path),
+             "--baseline", str(baseline)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # ...unless running report-only.
+        assert main(
+            ["obs", "gate", "--ledger", str(slow.path),
+             "--baseline", str(baseline), "--report-only"]
+        ) == 0
+        capsys.readouterr()
+
+        out_html = tmp_path / "dash.html"
+        assert main(
+            ["obs", "dashboard", "--ledger", str(ledger),
+             "--baseline", str(baseline), "--out", str(out_html)]
+        ) == 0
+        html_text = out_html.read_text()
+        assert "<svg" in html_text and "http" not in html_text
+
+    def test_compare_always_exits_zero(self, capsys, tmp_path):
+        ledger = RunLedger(tmp_path / "led.jsonl")
+        ledger.append(_entry(wall_time_s=9.0))
+        baseline = tmp_path / "base.json"
+        write_baseline(baseline, {"core/hmmer/RRM": {"wall_time_s": [1.0]}})
+        assert main(
+            ["obs", "compare", "--ledger", str(ledger.path),
+             "--baseline", str(baseline)]
+        ) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_gate_json_output(self, capsys, tmp_path):
+        ledger = RunLedger(tmp_path / "led.jsonl")
+        ledger.append(_entry(ipc=1.0))
+        baseline = tmp_path / "base.json"
+        write_baseline(baseline, {"core/hmmer/RRM": {"ipc": [1.0]}})
+        verdicts = tmp_path / "verdicts.json"
+        assert main(
+            ["obs", "gate", "--ledger", str(ledger.path),
+             "--baseline", str(baseline), "--json", str(verdicts)]
+        ) == 0
+        payload = json.loads(verdicts.read_text())
+        assert payload["counts"].get("ok") == 1
+
+    def test_gate_missing_inputs_exit_2(self, capsys, tmp_path):
+        baseline = tmp_path / "base.json"
+        write_baseline(baseline, {"a": {"ipc": [1.0]}})
+        assert main(
+            ["obs", "gate", "--ledger", str(tmp_path / "absent.jsonl"),
+             "--baseline", str(baseline)]
+        ) == 2
+        assert main(
+            ["obs", "gate", "--ledger", str(tmp_path / "absent.jsonl"),
+             "--baseline", str(tmp_path / "nobase.json")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_pin_from_ledger(self, capsys, tmp_path):
+        ledger = RunLedger(tmp_path / "led.jsonl")
+        ledger.append(_entry(ipc=1.0))
+        ledger.append(_entry(ipc=2.0))
+        out = tmp_path / "pinned.json"
+        assert main(
+            ["obs", "pin", "--ledger", str(ledger.path), "--out", str(out)]
+        ) == 0
+        assert load_baseline(out) == {"core/hmmer/RRM": {"ipc": [2.0]}}
+
+    def test_pin_empty_ledger_exit_2(self, capsys, tmp_path):
+        path = tmp_path / "led.jsonl"
+        path.write_text("")
+        assert main(
+            ["obs", "pin", "--ledger", str(path),
+             "--out", str(tmp_path / "o.json")]
+        ) == 2
+
+    def test_run_with_ledger_and_progress(self, capsys, tmp_path):
+        ledger = tmp_path / "led.jsonl"
+        code = main(
+            ["run", "--config", "tiny", "--workload", "hmmer",
+             "--scheme", "static-7", "--ledger", str(ledger), "--progress"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ledger entry appended" in err
+        assert "ETA" in err
+        entries = RunLedger.load(ledger)
+        assert entries[0].name == "hmmer/Static-7-SETs"
+        assert entries[0].kind == "run"
+
+    def test_sweep_with_ledger_and_progress(self, capsys, tmp_path):
+        ledger = tmp_path / "led.jsonl"
+        code = main(
+            ["sweep", "--config", "tiny", "--workloads", "hmmer",
+             "--schemes", "static-7", "--ledger", str(ledger), "--progress"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "settled" in err
+        entries = RunLedger.load(ledger)
+        assert [e.kind for e in entries] == ["sweep"]
+
+    def test_trace_diff_on_real_traces(self, capsys, tmp_path):
+        trace_a = tmp_path / "a.json"
+        trace_b = tmp_path / "b.json"
+        assert main(
+            ["run", "--config", "tiny", "--workload", "hmmer",
+             "--scheme", "rrm", "--trace", str(trace_a)]
+        ) == 0
+        assert main(
+            ["run", "--config", "tiny", "--workload", "hmmer",
+             "--scheme", "static-7", "--trace", str(trace_b)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(trace_a), str(trace_b)]) == 0
+        out = capsys.readouterr().out
+        assert "span names" in out
+        # RRM-only refresh spans disappear under static-7.
+        assert "removed" in out and "dtotal=" in out
+
+    def test_trace_diff_usage_errors(self, capsys, tmp_path):
+        assert main(["trace", "diff", "only-one.json"]) == 2
+        assert main(["trace", "a.json", "b.json"]) == 2
+        missing = tmp_path / "absent.json"
+        assert main(["trace", "diff", str(missing), str(missing)]) == 2

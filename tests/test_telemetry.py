@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.engine import Simulator
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceFormatError
 from repro.resilience import Job, JobSupervisor, ResultJournal, RetryPolicy
 from repro.sim.config import SystemConfig
 from repro.sim.schemes import Scheme
@@ -16,6 +16,7 @@ from repro.telemetry import (
     Profiler,
     TelemetryConfig,
     Tracer,
+    format_summary,
     load_trace,
     summarize_trace,
     validate_chrome_trace,
@@ -478,3 +479,110 @@ class TestParseDuration:
             parse_duration("fast")
         with pytest.raises(ConfigError):
             parse_duration("10 parsecs")
+
+
+# ----------------------------------------------------------------------
+# Summary robustness: empty, truncated, and garbage traces
+# ----------------------------------------------------------------------
+class TestSummaryRobustness:
+    def test_empty_event_list_summarizes_and_formats(self):
+        summary = summarize_trace([])
+        assert summary.n_events == 0
+        assert summary.duration_us == 0.0
+        text = format_summary(summary)
+        assert "events          0" in text
+        assert "longest spans" not in text
+
+    def test_metadata_only_trace_formats(self):
+        summary = summarize_trace([{"ph": "M", "name": "meta"}])
+        assert summary.n_events == 0
+        assert "events          0" in format_summary(summary)
+
+    def test_garbage_events_do_not_crash(self):
+        # Non-dict rows, None phases, and non-numeric fields all show up
+        # in the digest (bucketed under "?") instead of raising.
+        events = [
+            42,
+            {"ph": None, "name": None},
+            {"ph": "X", "name": 3, "dur": "slow", "ts": None},
+            {"ph": "C", "name": None, "args": None},
+        ]
+        summary = summarize_trace(events)
+        assert summary.n_events == 4
+        assert summary.by_phase.get("?") == 2
+        text = format_summary(summary)
+        assert "?" in text
+
+    def test_load_trace_rejects_non_list_trace_events(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": {}}')
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_load_trace_empty_trace_events_ok(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text('{"traceEvents": []}')
+        assert load_trace(path) == []
+        assert "no events" in " ".join(validate_chrome_trace([]))
+
+
+# ----------------------------------------------------------------------
+# Registry snapshot/diff edge cases
+# ----------------------------------------------------------------------
+class TestRegistryEdgeCases:
+    def test_prefix_matches_whole_segments_only(self):
+        registry = MetricRegistry()
+        registry.counter("a.b").inc()
+        registry.counter("a.b.c").inc(2)
+        registry.counter("a.bc").inc(3)
+        assert registry.names("a.b") == ["a.b", "a.b.c"]
+        assert registry.snapshot("a.b") == {"a.b": 1, "a.b.c": 2}
+        assert registry.snapshot("a") == {"a.b": 1, "a.b.c": 2, "a.bc": 3}
+        assert registry.snapshot("a.b.c.d") == {}
+
+    def test_diff_metric_only_in_new_counts_from_zero(self):
+        assert MetricRegistry.diff({"fresh": 5}, {}) == {"fresh": 5}
+
+    def test_diff_drops_vanished_metrics(self):
+        assert MetricRegistry.diff({}, {"gone": 7}) == {}
+
+    def test_diff_disjoint_snapshots(self):
+        out = MetricRegistry.diff({"a": 1}, {"b": 2})
+        assert out == {"a": 1}
+
+
+# ----------------------------------------------------------------------
+# Tracer bounds at exact overflow boundaries
+# ----------------------------------------------------------------------
+class TestTracerBoundaries:
+    def test_ring_exact_capacity_drops_nothing(self):
+        tracer = Tracer(mode="ring", ring_size=3)
+        for i in range(3):
+            tracer.instant(f"e{i}")
+        assert len(tracer.events()) == 3
+        assert tracer.dropped == 0
+
+    def test_ring_one_past_capacity_drops_oldest(self):
+        tracer = Tracer(mode="ring", ring_size=3)
+        for i in range(4):
+            tracer.instant(f"e{i}")
+        assert [e.name for e in tracer.events()] == ["e1", "e2", "e3"]
+        assert tracer.dropped == 1
+
+    def test_sample_boundary_keeps_first_of_each_stride(self):
+        tracer = Tracer(mode="sample", sample_every=3)
+        for i in range(3):
+            tracer.instant(f"e{i}")
+        # Exactly one stride: only its first event is kept.
+        assert [e.name for e in tracer.events()] == ["e0"]
+        assert tracer.dropped == 2
+        tracer.instant("e3")  # first event of the next stride is kept
+        assert [e.name for e in tracer.events()] == ["e0", "e3"]
+        assert tracer.dropped == 2
+
+    def test_sample_every_one_is_lossless(self):
+        tracer = Tracer(mode="sample", sample_every=1)
+        for i in range(5):
+            tracer.instant(f"e{i}")
+        assert len(tracer.events()) == 5
+        assert tracer.dropped == 0
