@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The RRM's bargain, measured causally: fast writes buy performance by
+spending refresh traffic, and that refresh traffic taxes reads.
+
+The headline comparison (RRM beats Static-7 on IPC) says nothing about
+*why* read latency moves. This example runs both schemes with latency
+attribution enabled and decomposes every read's queue wait by what
+actually occupied the bank — demand writes, RRM selective refreshes, or
+other reads. Under Static-7 the refresh-blamed wait is exactly zero (no
+selective refresh exists); under RRM it is nonzero, the measured price
+of the fast-write mode whose short retention forces refreshes. The same
+anatomy shows the compensating win: reads wait far less behind Static-7's
+slow (7-SET) demand writes once the RRM issues most writes fast.
+
+Run:  python examples/latency_anatomy.py [--tiny] [--workload NAME]
+"""
+
+import argparse
+
+from repro import Scheme, SystemConfig
+from repro.attribution import CLASS_WRITE_FAST, CLASS_WRITE_SLOW
+from repro.sim.system import System
+from repro.telemetry import TelemetryConfig
+
+
+def run_with_anatomy(config, workload, scheme):
+    system = System(
+        config,
+        workload,
+        scheme,
+        telemetry=TelemetryConfig(attribution=True, trace=False),
+    )
+    result = system.run()
+    return result, system.attribution_report()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="GemsFDTD")
+    parser.add_argument(
+        "--tiny", action="store_true", help="tiny config (seconds, for CI)"
+    )
+    args = parser.parse_args()
+
+    config = SystemConfig.tiny() if args.tiny else SystemConfig.scaled()
+
+    rows = []
+    for scheme in (Scheme.STATIC_7, Scheme.RRM):
+        result, report = run_with_anatomy(config, args.workload, scheme)
+        # Conservation is exact by construction (remainder-defined
+        # components; Sterbenz-exact subtractions), not approximately so.
+        assert report.max_conservation_error_ns == 0.0  # repro-lint: disable=RL004
+        write_blame = sum(
+            report.matrix.get("read", cls)
+            for cls in (CLASS_WRITE_FAST, CLASS_WRITE_SLOW)
+        )
+        rows.append((scheme, result, report, write_blame))
+        print(f"=== {scheme.value} / {args.workload} ===")
+        print(f"IPC                     : {result.ipc:.3f}")
+        print(f"avg read latency        : {result.avg_read_latency_ns:.1f} ns")
+        print(
+            f"read wait blamed on     : "
+            f"writes {write_blame / 1000.0:.1f} us, "
+            f"refreshes {report.read_refresh_blame_ns / 1000.0:.1f} us "
+            f"({report.read_refresh_share:.2%} of read latency)"
+        )
+        print(
+            f"write-pause preemption  : "
+            f"{report.pause_preempt_total_ns / 1000.0:.1f} us"
+        )
+        print()
+
+    (_, s7_res, s7_rep, s7_write), (_, rrm_res, rrm_rep, rrm_write) = rows
+    # Exactly zero, not small: Static-7 issues no selective refreshes,
+    # so no read can ever be blamed on one.
+    assert s7_rep.read_refresh_blame_ns == 0.0  # repro-lint: disable=RL004
+    assert rrm_rep.read_refresh_blame_ns > 0.0  # the fast-write tax
+
+    print("=== the tradeoff, causally attributed ===")
+    print(
+        f"refresh tax on reads    : +{rrm_rep.read_refresh_blame_ns / 1000.0:.1f} us "
+        f"(RRM) vs +0.0 us (Static-7)"
+    )
+    print(
+        f"write-blocking relief   : {s7_write / 1000.0:.1f} us (Static-7) -> "
+        f"{rrm_write / 1000.0:.1f} us (RRM)"
+    )
+    print(
+        f"net                     : IPC {s7_res.ipc:.3f} -> {rrm_res.ipc:.3f}, "
+        f"read latency {s7_res.avg_read_latency_ns:.1f} -> "
+        f"{rrm_res.avg_read_latency_ns:.1f} ns"
+    )
+    print()
+    print(
+        "The RRM's refresh traffic measurably delays reads — but the"
+        " anatomy shows it buys back more by replacing slow 7-SET demand"
+        " writes, which block reads for far longer per occupancy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,10 @@ Examples::
     repro-rrm trace out.json
     repro-rrm trace diff before.json after.json
 
+    # Latency anatomy: where did each request's time go?
+    repro-rrm explain --workload GemsFDTD --scheme rrm --top 5
+    repro-rrm explain --config tiny --json anatomy.json
+
     # Performance observability: pinned suite, regression gate, dashboard
     repro-rrm obs bench --ledger obs-ledger.jsonl
     repro-rrm obs gate --ledger obs-ledger.jsonl --baseline benchmarks/obs_baseline.json
@@ -39,6 +43,7 @@ from typing import List, Optional
 
 from repro import __version__
 from repro.analysis.regions import RegionIntervalAnalyzer
+from repro.attribution import format_report
 from repro.analysis.report import (
     failure_report,
     format_table,
@@ -158,6 +163,13 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="keep every Nth event in sample mode (default: 1)",
     )
+    group.add_argument(
+        "--attribution",
+        action="store_true",
+        help="build per-request latency anatomies; annotates trace "
+        "spans and contributes attr_* ledger metrics (see "
+        "'repro-rrm explain' for the report form)",
+    )
 
 
 def _telemetry_from_args(args) -> Optional[TelemetryConfig]:
@@ -165,17 +177,23 @@ def _telemetry_from_args(args) -> Optional[TelemetryConfig]:
 
     ``--trace`` alone implies periodic metric sampling at 1ms so the
     exported trace carries counter tracks, not just spans.
+    ``--attribution`` alone keeps the tracer off — anatomies are built
+    without paying for event recording.
     """
-    if not getattr(args, "trace", None) and args.metrics_interval is None:
+    tracing = bool(getattr(args, "trace", None)) or args.metrics_interval is not None
+    attribution = bool(getattr(args, "attribution", False))
+    if not tracing and not attribution:
         return None
     interval = args.metrics_interval
-    if interval is None:
+    if interval is None and tracing:
         interval = "1ms"
     return TelemetryConfig(
         mode=args.trace_mode,
         ring_size=args.trace_ring_size,
         sample_every=args.trace_sample_every,
-        metrics_interval_s=parse_duration(interval),
+        metrics_interval_s=parse_duration(interval) if interval else None,
+        trace=tracing,
+        attribution=attribution,
     )
 
 
@@ -206,6 +224,13 @@ def cmd_run(args) -> int:
     if args.verbose:
         for key, value in sorted(result.as_dict().items()):
             print(f"  {key:28s} {value}")
+    if result.attribution:
+        share = result.attribution.get("read_refresh_share", 0.0)
+        print(
+            f"attribution: {100 * share:.2f}% of read latency blamed on "
+            "refreshes ('repro-rrm explain' prints the full anatomy)",
+            file=sys.stderr,
+        )
     if args.trace:
         tracer = system.telemetry.tracer
         tracer.export(args.trace)
@@ -382,6 +407,14 @@ def cmd_table3(args) -> int:
     return 0
 
 
+def _write_json(path, payload) -> None:
+    import json as _json
+
+    Path(path).write_text(
+        _json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
 def cmd_trace(args) -> int:
     """Summarise/validate one trace file, or diff two (``trace diff A B``)."""
     files = args.file
@@ -395,7 +428,13 @@ def cmd_trace(args) -> int:
         except (TraceFormatError, FileNotFoundError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(format_trace_diff(diff_traces(events_a, events_b), top=args.top))
+        diff = diff_traces(events_a, events_b)
+        print(format_trace_diff(diff, top=args.top))
+        if args.json:
+            import dataclasses as _dc
+
+            _write_json(args.json, _dc.asdict(diff))
+            print(f"diff written to {args.json}", file=sys.stderr)
         return 0
     if len(files) != 1:
         print(
@@ -415,13 +454,50 @@ def cmd_trace(args) -> int:
         print(f"error: {files[0]}: trace contains no events", file=sys.stderr)
         return 2
     problems = validate_chrome_trace(events)
-    print(format_summary(summarize_trace(events, top_spans=args.top)))
+    summary = summarize_trace(events, top_spans=args.top)
+    print(format_summary(summary))
+    if args.json:
+        _write_json(args.json, summary.to_json_dict())
+        print(f"summary written to {args.json}", file=sys.stderr)
     if problems:
         print(f"\n{len(problems)} validation problem(s):", file=sys.stderr)
         for problem in problems:
             print(f"  - {problem}", file=sys.stderr)
     if args.check:
         return 1 if problems else 0
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Run one workload with latency attribution and explain where the
+    time went: per-request anatomies for the slowest requests, the
+    victim x blocker blamed-time matrix, and the per-bank interference
+    heatmap. Exit codes: 0 report printed, 2 usage/configuration error.
+    """
+    config = _config_from_args(args)
+    try:
+        scheme = scheme_from_name(args.scheme)
+        system = System(
+            config,
+            args.workload,
+            scheme,
+            telemetry=TelemetryConfig(attribution=True, trace=False),
+        )
+        system.run()
+        report = system.attribution_report()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        format_report(
+            report,
+            top=args.top,
+            header=f"{args.workload} / {scheme.value}",
+        )
+    )
+    if args.json:
+        _write_json(args.json, report.to_json_dict())
+        print(f"anatomy written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -770,7 +846,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero if the file fails Chrome-trace validation",
     )
+    p_trace.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the summary (or diff) as JSON",
+    )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="latency anatomy: run with per-request causal attribution "
+        "and report where read/write time went (queue blame by blocker "
+        "class, pause preemption, row-miss penalty, per-bank heatmap)",
+    )
+    _add_common(p_explain)
+    p_explain.add_argument("--workload", default="GemsFDTD")
+    p_explain.add_argument("--scheme", default="rrm")
+    p_explain.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="slowest requests to dissect in full (default: 5)",
+    )
+    p_explain.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the full report (matrix, per-bank blame, "
+        "slowest anatomies, region hot list) as JSON",
+    )
+    p_explain.set_defaults(func=cmd_explain)
 
     p_obs = sub.add_parser(
         "obs",

@@ -316,7 +316,13 @@ class RegionRetentionMonitor:
         if self.controller is None:
             return
         request = MemRequest(
-            rtype=rtype, block=block, n_sets=n_sets, deadline_ns=deadline_ns
+            rtype=rtype,
+            block=block,
+            n_sets=n_sets,
+            deadline_ns=deadline_ns,
+            # Stamp creation time so latency attribution can report the
+            # pre-queue backpressure a full refresh queue imposes.
+            generated_time_ns=self.sim.now if self.sim is not None else None,
         )
         self._pending_refreshes.append(request)
         if not self._space_wait_registered:

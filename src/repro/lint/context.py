@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Set, Tuple
 #: reporting (``analysis``) and input-generation (``workloads``) layers
 #: legitimately touch the host environment.
 SIM_PATH_PACKAGES = frozenset(
-    {"engine", "pcm", "memctrl", "cache", "core", "cpu", "sim"}
+    {"engine", "pcm", "memctrl", "cache", "core", "cpu", "sim", "attribution"}
 )
 
 _PRAGMA_RE = re.compile(

@@ -117,11 +117,17 @@ class MemoryController:
         write_drain_high: Optional[int] = None,
         write_drain_low: Optional[int] = None,
         tracer=NULL_TRACER,
+        attribution=None,
     ) -> None:
         self.sim = sim
         self.device = device
         #: Telemetry recorder; the shared no-op unless tracing is on.
         self.tracer = tracer
+        #: Optional latency-attribution collector
+        #: (:class:`repro.attribution.AttributionCollector`); every hook
+        #: below is guarded so the scheduler hot path is unchanged when
+        #: attribution is off.
+        self._attribution = attribution
         self.address_map = address_map or AddressMap(
             n_channels=device.n_channels,
             banks_per_channel=device.banks_per_channel,
@@ -160,6 +166,10 @@ class MemoryController:
         self._priority_queues = [
             tuple(qs.in_priority_order()) for qs in self._queues
         ]
+        if attribution is not None:
+            for queue_set in self._queues:
+                for queue in queue_set.in_priority_order():
+                    queue.issue_observer = attribution.on_dequeue
         #: Space waiters per (channel, request class name).
         self._space_waiters: Dict[Tuple[int, str], List[Callable[[], None]]] = {}
         self._completion_listeners: List[CompletionListener] = []
@@ -205,6 +215,8 @@ class MemoryController:
         request.decoded = decoded = self.address_map.decode_block(request.block)
         request.bank_index = decoded.channel * self._banks_per_channel + decoded.bank
         request.issue_time_ns = self.sim.now
+        if self._attribution is not None:
+            self._attribution.on_enqueue(request)
         self._queues[decoded.channel].queue_for(request.rtype).push(request)
         self._kick(decoded.channel)
 
@@ -279,6 +291,8 @@ class MemoryController:
                 if pick >= 0:
                     request = entries[pick]
                     del entries[pick]
+                    if self._attribution is not None:
+                        queue.note_issue(request, pick)
                     self._issue(channel, request)
                     self._wake_space_waiters(channel, queue.name)
                     issued = True
@@ -334,18 +348,23 @@ class MemoryController:
 
         request.start_time_ns = start
         request.finish_time_ns = finish
+        if self._attribution is not None:
+            if is_write:
+                self._attribution.on_write_issue(request)
+            else:
+                self._attribution.on_read_issue(request, hit)
         self._bank_inflight[request.bank_index] += 1
         self._channel_inflight[channel] += 1
         event = self.sim.schedule_at(finish, lambda: self._complete(channel, request))
         if is_write:
             self._inflight_write[request.bank_index] = (request, event)
         else:
-            self._reschedule_paused_write(channel, request.bank_index, bank)
+            self._reschedule_paused_write(channel, request, bank)
 
-    def _reschedule_paused_write(self, channel: int, bank_index: int, bank) -> None:
+    def _reschedule_paused_write(self, channel: int, read_request: MemRequest, bank) -> None:
         """If the read just issued paused this bank's in-flight write, move
         the write's completion event to the extended finish time."""
-        entry = self._inflight_write[bank_index]
+        entry = self._inflight_write[read_request.bank_index]
         if entry is None:
             return
         write_request, event = entry
@@ -357,7 +376,9 @@ class MemoryController:
         new_event = self.sim.schedule_at(
             new_end, lambda: self._complete(channel, write_request)
         )
-        self._inflight_write[bank_index] = (write_request, new_event)
+        self._inflight_write[read_request.bank_index] = (write_request, new_event)
+        if self._attribution is not None:
+            self._attribution.on_write_paused(write_request, read_request, new_end)
 
     def _complete(self, channel: int, request: MemRequest) -> None:
         self._bank_inflight[request.bank_index] -= 1
@@ -392,6 +413,12 @@ class MemoryController:
         if violated:
             self.stats.retention_violations += 1
 
+        anatomy_args = None
+        if self._attribution is not None:
+            # Finalise the latency anatomy (conservation is checked here);
+            # the compact component map rides on the span args below.
+            anatomy_args = self._attribution.on_complete(request)
+
         if self.tracer.enabled:
             # One span per serviced request, laned by flat bank index so
             # Perfetto shows per-bank occupancy; the queue wait rides in args.
@@ -407,6 +434,8 @@ class MemoryController:
                     "wait_ns": start - request.issue_time_ns,
                     **({"n_sets": request.n_sets}
                        if request.n_sets is not None else {}),
+                    **({"anatomy": anatomy_args}
+                       if anatomy_args is not None else {}),
                 },
                 tid=request.bank_index,
             )

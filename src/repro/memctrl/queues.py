@@ -27,6 +27,11 @@ class BoundedQueue:
     peak_occupancy: int = 0
     total_enqueued: int = 0
     rejected: int = 0
+    #: Optional ``(queue, request, n_bypassed)`` callback fired when the
+    #: scheduler removes an entry out of FIFO order; installed by the
+    #: controller only when latency attribution is enabled, so the hot
+    #: path pays nothing by default.
+    issue_observer: Optional[Callable[["BoundedQueue", MemRequest, int], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,6 +77,16 @@ class BoundedQueue:
                 del self._entries[index]
                 return request
         return None
+
+    def note_issue(self, request: MemRequest, n_bypassed: int) -> None:
+        """Report an out-of-queue pick to the issue observer, if any.
+
+        *n_bypassed* is the number of older entries the FR-FCFS scan
+        skipped — the reordering depth latency attribution records on
+        the request's anatomy.
+        """
+        if self.issue_observer is not None:
+            self.issue_observer(self, request, n_bypassed)
 
     def register_metrics(self, registry, prefix: str) -> None:
         """Publish queue pressure counters into *registry*."""

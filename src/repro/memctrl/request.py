@@ -56,6 +56,13 @@ class MemRequest:
     #: Flat bank index (channel * banks_per_channel + bank), also filled
     #: at enqueue; lets the scheduler's ready-scan use a list lookup.
     bank_index: int = -1
+    #: When the producer created the request, if before it could reach
+    #: the controller (RRM refreshes held back by a full refresh queue);
+    #: issue_time_ns - generated_time_ns is the pre-queue backpressure.
+    generated_time_ns: Optional[float] = None
+    #: Latency-anatomy record attached by the attribution collector;
+    #: None unless attribution is enabled for the run.
+    anatomy: object = None
 
     @property
     def is_write(self) -> bool:

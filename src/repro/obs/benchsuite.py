@@ -30,6 +30,7 @@ from repro.obs.ledger import (
 from repro.sim.config import SystemConfig
 from repro.sim.runner import run_workload
 from repro.sim.schemes import Scheme
+from repro.telemetry import TelemetryConfig
 
 BENCH_SCHEMA = 1
 SUITE_NAME = "core"
@@ -53,6 +54,19 @@ def cell_name(workload: str, scheme: Scheme) -> str:
 def core_config(seed: int = CORE_SEED) -> SystemConfig:
     """The suite's pinned configuration (tiny, fixed seed)."""
     return SystemConfig.tiny(seed=seed)
+
+
+def core_telemetry() -> TelemetryConfig:
+    """The suite's telemetry: latency attribution on, tracing off.
+
+    Attribution is observational (a run with it is bit-identical to one
+    without), so turning it on here costs nothing in determinism while
+    making refresh-interference share (``attr_read_refresh_share``) a
+    pinned, gateable number like any other suite metric.
+    """
+    return TelemetryConfig(
+        attribution=True, trace=False, detailed_metrics=False
+    )
 
 
 @dataclass
@@ -91,7 +105,7 @@ def run_core_suite(
             progress(
                 f"[{i}/{len(CORE_SUITE)}] {workload}/{scheme.value} ..."
             )
-        result = runner(config, workload, scheme)
+        result = runner(config, workload, scheme, telemetry=core_telemetry())
         entry = LedgerEntry.from_result(
             result,
             config,

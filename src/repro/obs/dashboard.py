@@ -16,6 +16,7 @@ color with the verdict word.
 from __future__ import annotations
 
 import html
+import re
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs.ledger import LedgerEntry, entries_by_name
@@ -30,7 +31,23 @@ DEFAULT_DASHBOARD_METRICS = (
     "refresh_writes",
     "retention_violations",
     "row_hit_rate",
+    "attr_read_refresh_share",
 )
+
+#: Blocker-class palette for the attribution bars (fixed, never themed,
+#: like the verdict chips). Order is render order within each bar; every
+#: color is paired with its class word in the legend.
+_BLAME_CLASSES = (
+    ("read", "#2a78d6"),
+    ("write_fast", "#0ca30c"),
+    ("write_slow", "#12a594"),
+    ("write_other", "#7d66d3"),
+    ("rrm_fast_refresh", "#d03b3b"),
+    ("rrm_slow_refresh", "#ec835a"),
+    ("scheduler", "#898781"),
+)
+
+_BANK_BLAME_RE = re.compile(r"attr_bank(\d+)_blame_([a-z_]+)$")
 
 #: Status palette (fixed, never themed) + verdict word pairing. The word
 #: is rendered next to the chip, so color never carries meaning alone.
@@ -228,6 +245,93 @@ def _gate_section(gate_report) -> List[str]:
     return out
 
 
+def _bank_blame(entry: LedgerEntry) -> Dict[int, Dict[str, float]]:
+    """Per-bank blamed-wait totals parsed from ``attr_bank*`` metrics."""
+    banks: Dict[int, Dict[str, float]] = {}
+    for key, value in entry.metrics.items():
+        match = _BANK_BLAME_RE.match(key)
+        if match and value > 0:
+            banks.setdefault(int(match.group(1)), {})[match.group(2)] = value
+    return banks
+
+
+def _blame_bars(banks: Dict[int, Dict[str, float]]) -> str:
+    """One inline SVG of horizontal stacked bars, one per bank.
+
+    Bars share a scale (the busiest bank spans the full width), so bank
+    imbalance reads directly as bar length.
+    """
+    width, label_w, bar_h, gap, pad = 440, 58, 14, 6, 3
+    scale_max = max(sum(c.values()) for c in banks.values())
+    if scale_max <= 0:
+        return ""
+    height = pad * 2 + len(banks) * (bar_h + gap) - gap
+    parts = [
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="blamed wait time per bank by blocker class">'
+    ]
+    span = width - label_w - pad
+    for row, bank in enumerate(sorted(banks)):
+        y = pad + row * (bar_h + gap)
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + bar_h - 3}" '
+            f'text-anchor="end" font-size="11" '
+            f'fill="var(--text-secondary)">b{bank}</text>'
+        )
+        x = float(label_w)
+        for cause, color in _BLAME_CLASSES:
+            value = banks[bank].get(cause, 0.0)
+            if value <= 0:
+                continue
+            w = span * value / scale_max
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{max(w, 0.5):.1f}" '
+                f'height="{bar_h}" fill="{color}"/>'
+            )
+            x += w
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _attribution_sections(
+    grouped: Dict[str, List[LedgerEntry]]
+) -> List[str]:
+    """Stacked per-bank blame bars for runs that recorded attribution."""
+    charts: List[str] = []
+    used_causes: set = set()
+    for name, group in sorted(grouped.items()):
+        banks = _bank_blame(group[-1])  # latest entry per run name
+        if not banks:
+            continue
+        share = group[-1].metrics.get("attr_read_refresh_share")
+        share_txt = (
+            f"read refresh share {share:.2%}" if share is not None else ""
+        )
+        for causes in banks.values():
+            used_causes.update(causes)
+        charts.append(
+            f'<div class="card"><div class="metric">{html.escape(name)}'
+            f"</div>"
+            + (f'<div class="delta">{share_txt}</div>' if share_txt else "")
+            + _blame_bars(banks)
+            + "</div>"
+        )
+    if not charts:
+        return []
+    legend = " ".join(
+        f'<span class="chip" style="background:{color}"></span>'
+        f"{html.escape(cause)}"
+        for cause, color in _BLAME_CLASSES
+        if cause in used_causes
+    )
+    return [
+        "<h2>Latency attribution: blamed wait per bank</h2>",
+        f'<div class="meta">{legend}</div>',
+        f'<div class="cards">{"".join(charts)}</div>',
+    ]
+
+
 def _trend_sections(
     grouped: Dict[str, List[LedgerEntry]],
     metrics: List[str],
@@ -295,6 +399,7 @@ def render_dashboard(
     if gate_report is not None:
         body.extend(_gate_section(gate_report))
     if grouped:
+        body.extend(_attribution_sections(grouped))
         body.extend(_trend_sections(grouped, picked, max_points))
     else:
         body.append('<p class="empty">The ledger is empty.</p>')

@@ -80,6 +80,20 @@ DEFAULT_RULES: Tuple[GateRule, ...] = (
     GateRule("retention_violations", "down", 0.0, "must never grow"),
     GateRule("*retention_violations", "down", 0.0, "must never grow"),
     GateRule("avg_*_latency_ns", "down", 0.05),
+    # Attribution rules precede the broad *refresh* pattern below, which
+    # would otherwise swallow them (first match wins).
+    GateRule(
+        "attr_read_refresh_share",
+        "down",
+        0.05,
+        "RRM interference: share of read latency blamed on refreshes",
+    ),
+    GateRule(
+        "attr_max_conservation_error_ns",
+        "down",
+        0.0,
+        "anatomy components must keep summing to measured latency",
+    ),
     GateRule("*refresh*", "down", 0.05, "refresh overhead"),
     GateRule("row_hit_rate", "up", 0.05),
 )

@@ -145,8 +145,11 @@ class LedgerEntry:
         """Build an entry from a :class:`~repro.sim.metrics.SimResult`.
 
         Metrics are the numeric fields of ``result.as_dict()`` plus
-        ``wall_time_s``; *extra_metrics* (e.g. a registry snapshot's
-        numeric values) are merged on top.
+        ``wall_time_s``; runs with latency attribution enabled also
+        contribute their flat ``attr_*`` metrics (refresh-interference
+        share and friends), making them gateable like any other number.
+        *extra_metrics* (e.g. a registry snapshot's numeric values) are
+        merged on top.
         """
         metrics: Dict[str, float] = {
             key: value
@@ -154,6 +157,15 @@ class LedgerEntry:
             if isinstance(value, (int, float)) and not isinstance(value, bool)
         }
         metrics["wall_time_s"] = result.wall_time_s
+        attribution = getattr(result, "attribution", None)
+        if attribution:
+            metrics.update(
+                {
+                    k: v
+                    for k, v in (attribution.get("ledger_metrics") or {}).items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                }
+            )
         if extra_metrics:
             metrics.update(
                 {

@@ -81,6 +81,9 @@ class Bank:
     writes_served: int = 0
     write_pauses: int = 0
     busy_time_ns: float = 0.0
+    #: Total time added to in-flight writes by reads cutting in at SET
+    #: boundaries — the bank-side view of write-pause preemption.
+    pause_time_ns: float = 0.0
 
     _in_flight_write: Optional[_InFlightWrite] = None
 
@@ -140,6 +143,7 @@ class Bank:
                 b + service if b > start else b for b in write.boundaries_ns
             )
             self.write_pauses += 1
+            self.pause_time_ns += service
             self.busy_until = write.end_ns
         else:
             self.busy_until = max(self.busy_until, finish)
@@ -203,4 +207,5 @@ class Bank:
         registry.gauge(f"{prefix}.writes_served", lambda: self.writes_served)
         registry.gauge(f"{prefix}.write_pauses", lambda: self.write_pauses)
         registry.gauge(f"{prefix}.busy_time_ns", lambda: self.busy_time_ns)
+        registry.gauge(f"{prefix}.pause_time_ns", lambda: self.pause_time_ns)
         self.row_buffer.register_metrics(registry, f"{prefix}.row_buffer")

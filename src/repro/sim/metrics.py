@@ -114,6 +114,12 @@ class SimResult:
     rrm_stats: Optional[dict] = None
     stalls: Optional[dict] = None
     wall_time_s: float = 0.0
+    #: Latency-anatomy summary (repro.attribution) when the run had
+    #: attribution enabled; holds the blamed-time digest plus a flat
+    #: ``ledger_metrics`` map merged into run-ledger entries. Kept off
+    #: :meth:`as_dict` so attribution-on == attribution-off comparisons
+    #: of simulation statistics stay meaningful.
+    attribution: Optional[dict] = None
 
     @property
     def virtual_duration_s(self) -> float:

@@ -12,6 +12,8 @@ import time
 from dataclasses import asdict
 from typing import List, Optional
 
+from repro.attribution import AttributionCollector
+from repro.attribution.report import AttributionReport
 from repro.core.monitor import RegionRetentionMonitor
 from repro.cpu.multicore import Multicore
 from repro.engine import Simulator
@@ -84,6 +86,16 @@ class System:
             modes=self.modes,
             allow_write_pausing=config.memory.allow_write_pausing,
         )
+        self.attribution: Optional[AttributionCollector] = None
+        if telemetry is not None and telemetry.attribution:
+            self.attribution = AttributionCollector(
+                n_banks=self.device.n_banks,
+                banks_per_channel=self.device.banks_per_channel,
+                fast_n_sets=self.modes.fast.n_sets,
+                slow_n_sets=self.modes.slow.n_sets,
+                row_hit_read_ns=self.device.timings.row_hit_read_ns,
+                region_of=config.rrm.region_of_block,
+            )
         self.controller = MemoryController(
             self.sim,
             self.device,
@@ -91,6 +103,7 @@ class System:
             read_queue_capacity=config.memory.read_queue_capacity,
             write_queue_capacity=config.memory.write_queue_capacity,
             tracer=self.telemetry.tracer,
+            attribution=self.attribution,
         )
         self.wear = WearTracker(track_per_block=track_wear_per_block)
         self.energy = EnergyModel(modes=self.modes)
@@ -152,6 +165,8 @@ class System:
         self.energy.register_metrics(registry)
         if self.rrm is not None and hasattr(self.rrm, "register_metrics"):
             self.rrm.register_metrics(registry)
+        if self.attribution is not None:
+            self.attribution.register_metrics(registry)
 
     # ------------------------------------------------------------------
     def _build_streams(self) -> List:
@@ -174,6 +189,16 @@ class System:
             )
             streams.append(iter(generator))
         return streams
+
+    # ------------------------------------------------------------------
+    def attribution_report(self) -> AttributionReport:
+        """The run's full latency-anatomy report (attribution must be on)."""
+        if self.attribution is None:
+            raise ConfigError(
+                "attribution is not enabled; pass "
+                "TelemetryConfig(attribution=True)"
+            )
+        return AttributionReport.from_collector(self.attribution)
 
     # ------------------------------------------------------------------
     def _on_completion(self, request: MemRequest) -> None:
@@ -275,6 +300,15 @@ class System:
         }
         if self.rrm is not None:
             result.rrm_stats = asdict(self.rrm.stats)
+        if self.attribution is not None:
+            report = self.attribution_report()
+            # The anatomy summary rides on its own field; as_dict() — the
+            # bit-identity surface for attribution-on == attribution-off
+            # comparisons — is deliberately untouched.
+            result.attribution = {
+                **report.summary_dict(),
+                "ledger_metrics": report.ledger_metrics(),
+            }
 
         result.wear = self._wear_report(snap)
         result.energy = self._energy_report(snap, result.wear)

@@ -42,6 +42,7 @@ from repro.telemetry.registry import (
 )
 from repro.telemetry.summary import (
     TraceSummary,
+    flatten_args,
     format_summary,
     load_trace,
     summarize_trace,
@@ -72,6 +73,7 @@ __all__ = [
     "TraceSummary",
     "Tracer",
     "TRACE_MODES",
+    "flatten_args",
     "format_summary",
     "load_trace",
     "summarize_trace",
@@ -91,6 +93,12 @@ class TelemetryConfig:
             snapshot events; ``None`` disables periodic sampling.
         detailed_metrics: Also register latency histograms (small
             per-completion recording cost; off leaves only pull gauges).
+        trace: Record trace events. Off keeps the no-op tracer, so a
+            config can enable attribution (or detail metrics) without
+            paying for event recording.
+        attribution: Build per-request latency anatomies
+            (:mod:`repro.attribution`). Observational only — simulation
+            statistics are bit-identical either way.
     """
 
     mode: str = "full"
@@ -98,6 +106,8 @@ class TelemetryConfig:
     sample_every: int = 1
     metrics_interval_s: Optional[float] = None
     detailed_metrics: bool = True
+    trace: bool = True
+    attribution: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in TRACE_MODES:
@@ -127,7 +137,7 @@ class Telemetry:
     ) -> None:
         self.config = config
         self.registry = MetricRegistry()
-        if config is None:
+        if config is None or not config.trace:
             self.tracer: "Tracer | NullTracer" = NULL_TRACER
         else:
             self.tracer = Tracer(

@@ -26,6 +26,25 @@ from repro.telemetry.trace import (
 _KNOWN_PHASES = {PH_COMPLETE, PH_COUNTER, PH_INSTANT, PH_METADATA}
 
 
+def flatten_args(args: dict, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a (possibly nested) span ``args`` dict.
+
+    Nested dicts flatten with dotted keys, so an attribution anatomy
+    attached as ``args={"anatomy": {"wait_read": 12.5}}`` aggregates
+    under ``anatomy.wait_read``. Non-numeric leaves are skipped.
+    """
+    flat: Dict[str, float] = {}
+    for key, value in args.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten_args(value, prefix=f"{name}."))
+        elif isinstance(value, bool):
+            flat[name] = float(value)
+        elif isinstance(value, (int, float)):
+            flat[name] = float(value)
+    return flat
+
+
 def load_trace(path) -> List[dict]:
     """Load trace events from a Chrome JSON or JSONL file.
 
@@ -125,11 +144,41 @@ class TraceSummary:
         default_factory=list
     )
     counter_series: Dict[str, List[str]] = field(default_factory=dict)
+    #: span name -> flattened arg key -> [occurrences, numeric total].
+    #: This is the aggregate the old summary silently dropped: span args
+    #: (e.g. per-request latency anatomies) were loaded but never
+    #: tallied, so annotated traces summarised no richer than bare ones.
+    span_args: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
     dropped_events: Optional[int] = None
 
     @property
     def duration_us(self) -> float:
         return max(0.0, self.t_max_us - self.t_min_us)
+
+    def to_json_dict(self) -> dict:
+        """JSON-able digest, used by ``repro-rrm trace --json``."""
+        return {
+            "n_events": self.n_events,
+            "t_min_us": self.t_min_us,
+            "t_max_us": self.t_max_us,
+            "duration_us": self.duration_us,
+            "by_phase": dict(self.by_phase),
+            "by_category": dict(self.by_category),
+            "longest_spans": [
+                {"dur_us": dur, "name": name, "cat": cat, "ts_us": ts}
+                for dur, name, cat, ts in self.longest_spans
+            ],
+            "counter_series": {
+                name: list(keys) for name, keys in self.counter_series.items()
+            },
+            "span_args": {
+                name: {
+                    key: {"count": int(count), "total": total}
+                    for key, (count, total) in sorted(keys.items())
+                }
+                for name, keys in sorted(self.span_args.items())
+            },
+        }
 
 
 def summarize_trace(events: List[dict], top_spans: int = 10) -> TraceSummary:
@@ -169,6 +218,15 @@ def summarize_trace(events: List[dict], top_spans: int = 10) -> TraceSummary:
                 (float(dur), str(event.get("name") or "?"),
                  str(event.get("cat") or "default"), float(ts))
             )
+            args = event.get("args")
+            if isinstance(args, dict) and args:
+                tally = summary.span_args.setdefault(
+                    str(event.get("name") or "?"), {}
+                )
+                for key, value in flatten_args(args).items():
+                    cell = tally.setdefault(key, [0, 0.0])
+                    cell[0] += 1
+                    cell[1] += value
         elif ph == PH_COUNTER:
             series = summary.counter_series.setdefault(
                 str(event.get("name") or "?"), []
@@ -206,6 +264,16 @@ def format_summary(summary: TraceSummary) -> str:
         for name, series in sorted(summary.counter_series.items()):
             shown = ", ".join(series[:6]) + (", ..." if len(series) > 6 else "")
             lines.append(f"  {name:<14} [{shown}]")
+    if summary.span_args:
+        lines.append("span args (count / total / mean):")
+        for name, keys in sorted(summary.span_args.items()):
+            lines.append(f"  {name}:")
+            for key, (count, total) in sorted(keys.items()):
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"    {key:<32} {int(count):>8}  "
+                    f"{total:>14.1f}  {mean:>10.3f}"
+                )
     if summary.longest_spans:
         lines.append("longest spans:")
         for dur, name, cat, ts in summary.longest_spans:

@@ -82,3 +82,12 @@ class TestExamples:
         )
         assert "expired-data events  : 0" in out
         assert "fault injection" in out
+
+    def test_latency_anatomy(self, monkeypatch, capsys):
+        out = run_example(
+            "latency_anatomy.py", ["--tiny", "--workload", "hmmer"],
+            monkeypatch, capsys,
+        )
+        assert "refreshes 0.0 us (0.00%" in out  # Static-7: no refresh tax
+        assert "the tradeoff, causally attributed" in out
+        assert "refresh tax on reads" in out

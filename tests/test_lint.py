@@ -61,6 +61,7 @@ class TestRegistry:
     def test_sim_path_packages_match_issue_contract(self):
         assert SIM_PATH_PACKAGES == {
             "engine", "pcm", "memctrl", "cache", "core", "cpu", "sim",
+            "attribution",
         }
 
 

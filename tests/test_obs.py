@@ -516,7 +516,7 @@ class TestBenchSuite:
             ledger_path=ledger_path,
             bench_json_path=bench_json,
             baseline_out=baseline,
-            runner=lambda config, w, s: _FakeResult(w, s),
+            runner=lambda config, w, s, **kw: _FakeResult(w, s),
         )
         assert len(outcome.entries) == len(CORE_SUITE)
         names = [e.name for e in outcome.entries]
@@ -542,7 +542,7 @@ class TestBenchSuite:
         seen = []
         run_core_suite(
             progress=seen.append,
-            runner=lambda config, w, s: _FakeResult(w, s),
+            runner=lambda config, w, s, **kw: _FakeResult(w, s),
         )
         assert len(seen) == len(CORE_SUITE)
 
