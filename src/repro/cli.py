@@ -32,6 +32,14 @@ Examples::
     repro-rrm obs bench --ledger obs-ledger.jsonl
     repro-rrm obs gate --ledger obs-ledger.jsonl --baseline benchmarks/obs_baseline.json
     repro-rrm obs dashboard --ledger obs-ledger.jsonl --out obs-dashboard.html
+
+    # Parallel sweeps on the sharded fabric (bit-identical to --jobs 1)
+    repro-rrm sweep --config tiny --jobs 4 --journal sweep.jsonl
+
+    # Batch service: serve sweeps over a local socket
+    repro-rrm serve --address .repro-rrm.sock --journal-dir fabric-journals
+    repro-rrm submit --address .repro-rrm.sock --config tiny --jobs 4
+    repro-rrm status --address .repro-rrm.sock
 """
 
 from __future__ import annotations
@@ -274,14 +282,19 @@ def cmd_sweep(args) -> int:
     reporter = (
         SweepProgress(len(workloads) * len(schemes)) if args.progress else None
     )
+    fabric = args.jobs > 1
     runner = ExperimentRunner(
         config,
         workloads=workloads,
         schemes=schemes,
         n_workers=args.workers,
+        n_jobs=args.jobs,
         timeout_s=args.timeout,
         retry=RetryPolicy(max_retries=args.retries),
         journal_path=args.journal,
+        # On the fabric, workers append per-worker ledger shards that are
+        # merged deterministically; serially the loop below appends.
+        ledger_path=args.ledger if fabric else None,
         fault_plan=fault_plan,
         on_event=reporter.on_event if reporter is not None else None,
         **({"tracer": tracer} if tracer is not None else {}),
@@ -301,15 +314,27 @@ def cmd_sweep(args) -> int:
         if reporter is not None:
             reporter.close()
     if args.ledger:
-        ledger = RunLedger(args.ledger)
-        for (workload, scheme), result in sorted(
-            runner.results.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
-        ):
-            ledger.append(
-                LedgerEntry.from_result(result, config, kind=KIND_SWEEP)
-            )
+        if not fabric:
+            ledger = RunLedger(args.ledger)
+            for (workload, scheme), result in sorted(
+                runner.results.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+            ):
+                ledger.append(
+                    LedgerEntry.from_result(result, config, kind=KIND_SWEEP)
+                )
         print(
             f"{len(runner.results)} ledger entries appended to {args.ledger}",
+            file=sys.stderr,
+        )
+    if runner.fabric_stats is not None:
+        stats = runner.fabric_stats
+        print(
+            f"fabric: {stats.n_workers} workers, "
+            f"{stats.jobs_completed} ok / {stats.jobs_failed} failed, "
+            f"{stats.jobs_stolen} stolen, {stats.retries} retries, "
+            f"{stats.respawns} respawns, "
+            f"utilization {100 * stats.utilization:.0f}%, "
+            f"wall {stats.wall_s:.1f}s",
             file=sys.stderr,
         )
     print(performance_report(runner, schemes))
@@ -327,6 +352,125 @@ def cmd_sweep(args) -> int:
     # Degraded completion (some cells failed) still exits 0 — the sweep
     # finished and reported; only a sweep with zero results is an error.
     return 0 if runner.results else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the fabric batch service in the foreground until interrupted."""
+    from repro.fabric import FabricServer
+
+    server = FabricServer(
+        args.address,
+        args.journal_dir,
+        baseline_path=args.baseline,
+        on_log=lambda line: print(line, file=sys.stderr),
+    )
+    try:
+        server.start()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("interrupted; stopping", file=sys.stderr)
+        server.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a sweep spec to a running server; stream it by default."""
+    from repro.fabric import FabricClient, SweepSpec
+
+    try:
+        spec = SweepSpec.make(
+            config_name=args.config,
+            seed=args.seed,
+            duration_s=args.duration,
+            workloads=args.workloads or None,
+            schemes=args.schemes or None,
+            max_events=args.max_events,
+            jobs=args.jobs,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = FabricClient(args.address)
+    try:
+        if args.no_watch:
+            print(client.submit(spec))
+            return 0
+        outcome = None
+        for message in client.submit_and_watch(spec):
+            event = message.get("event")
+            if event is None:
+                print(f"submitted: {message.get('sweep')}", file=sys.stderr)
+            elif event == "ledger.entry":
+                entry = message.get("entry") or {}
+                metrics = entry.get("metrics") or {}
+                ipc = metrics.get("ipc")
+                print(
+                    f"  done: {entry.get('name')}"
+                    + (f"  ipc={ipc:.4f}" if isinstance(ipc, float) else "")
+                )
+            elif event in ("job.retry", "job.failed", "fabric.respawn"):
+                print(f"  {event}: {message}", file=sys.stderr)
+            elif event == "gate.verdict":
+                counts = message.get("counts") or {}
+                summary = ", ".join(
+                    f"{count} {name}" for name, count in sorted(counts.items())
+                )
+                print(f"gate: {summary or message.get('error', 'no verdicts')}")
+            elif event == "sweep.finished":
+                outcome = message
+        if outcome is None:
+            print(
+                "server closed the stream before the sweep finished; "
+                "its journal has whatever settled",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"{outcome.get('sweep')}: {outcome.get('state')} "
+            f"({outcome.get('completed', 0)} ok, {outcome.get('failed', 0)} "
+            f"failed)  journal={outcome.get('journal')}"
+        )
+        finished = outcome.get("state") == "finished"
+        return 0 if finished and outcome.get("completed", 0) else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_status(args) -> int:
+    """Ping a running server and list its sweeps."""
+    from repro.fabric import FabricClient
+
+    client = FabricClient(args.address)
+    try:
+        info = client.ping()
+        sweeps = client.status()
+        print(
+            f"server at {args.address}: protocol v{info.get('version')}, "
+            f"{len(sweeps)} sweep(s)"
+        )
+        for sweep in sweeps:
+            line = (
+                f"  {sweep.get('sweep', '?'):<10} {sweep.get('state', '?'):<9}"
+                f" {sweep.get('completed', 0)}/{sweep.get('jobs', 0)} ok"
+                f"  failed={sweep.get('failed', 0)}"
+                f"  workers={sweep.get('workers', 1)}"
+                f"  journal={sweep.get('journal', '-')}"
+            )
+            if sweep.get("error"):
+                line += f"  error={sweep['error']}"
+            print(line)
+        if args.shutdown:
+            client.shutdown()
+            print("shutdown requested", file=sys.stderr)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_sensitivity(args) -> int:
@@ -713,6 +857,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--workloads", nargs="*", default=None)
     p_sweep.add_argument("--schemes", nargs="*", default=None)
     p_sweep.add_argument("--workers", type=int, default=1)
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the sweep across N worker processes on the "
+        "work-stealing fabric; results are bit-identical to --jobs 1 "
+        "(composes with --journal/--resume/--inject-faults)",
+    )
     p_sweep.add_argument("--output", default=None, help="JSON output path")
     p_sweep.add_argument(
         "--timeout",
@@ -765,6 +918,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="append every completed cell's metrics to a JSONL run ledger",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="batch sweep service: accept sweep specs over a local "
+        "socket, run them on the fabric, stream progress/ledger/gate "
+        "events to watchers",
+    )
+    p_serve.add_argument(
+        "--address",
+        default=".repro-rrm.sock",
+        help="unix socket path, or host:port for TCP "
+        "(default: .repro-rrm.sock)",
+    )
+    p_serve.add_argument(
+        "--journal-dir",
+        default="fabric-journals",
+        metavar="DIR",
+        help="directory for per-sweep journals/ledgers (sweep-001.jsonl, "
+        "...); an interrupted sweep resumes with 'repro-rrm sweep "
+        "--resume --journal DIR/sweep-NNN.jsonl --jobs N' "
+        "(default: fabric-journals)",
+    )
+    p_serve.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="stream a gate.verdict event per sweep against this pinned "
+        "baseline",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a sweep spec to a running 'serve' instance"
+    )
+    _add_common(p_submit)
+    p_submit.add_argument(
+        "--address", default=".repro-rrm.sock", help="server address"
+    )
+    p_submit.add_argument("--workloads", nargs="*", default=None)
+    p_submit.add_argument("--schemes", nargs="*", default=None)
+    p_submit.add_argument(
+        "--max-events", type=int, default=None, metavar="N"
+    )
+    p_submit.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fabric worker processes for this sweep (default: 1)",
+    )
+    p_submit.add_argument(
+        "--no-watch",
+        action="store_true",
+        help="queue the sweep and return its id immediately instead of "
+        "streaming it",
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="ping a running 'serve' instance and list its sweeps"
+    )
+    p_status.add_argument(
+        "--address", default=".repro-rrm.sock", help="server address"
+    )
+    p_status.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to shut down after reporting",
+    )
+    p_status.set_defaults(func=cmd_status)
 
     p_sens = sub.add_parser(
         "sensitivity", help="RRM sensitivity sweeps (paper Figs. 11-13)"

@@ -67,6 +67,27 @@ class CheckpointCorruptError(ResilienceError):
     skipped, not an error)."""
 
 
+class FabricError(ReproError):
+    """Base class for sharded-sweep-fabric failures.
+
+    These describe problems with the parallel execution fabric — worker
+    fleets, journal leases, the serve socket — not with the simulated
+    system itself."""
+
+
+class LockTimeoutError(FabricError):
+    """A journal lock could not be acquired within its deadline.
+
+    Either another process is wedged while holding the lock, or the
+    lease file is stale (e.g. left behind by a SIGKILL'd coordinator on
+    a filesystem without ``flock`` support)."""
+
+
+class ProtocolError(FabricError):
+    """A ``repro-rrm serve`` client or server received a malformed or
+    out-of-sequence message on the line-delimited JSON wire protocol."""
+
+
 class LedgerCorruptError(ReproError):
     """A run ledger contains an unreadable record before its final line.
 

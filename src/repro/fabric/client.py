@@ -1,0 +1,94 @@
+"""Client side of the serve protocol (``repro-rrm submit`` / ``status``)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import ProtocolError
+from repro.fabric import protocol
+from repro.fabric.spec import SweepSpec
+
+
+class FabricClient:
+    """A thin, connection-per-call client for a running fabric server."""
+
+    def __init__(self, address, *, timeout_s: Optional[float] = None) -> None:
+        self.address = address
+        self.timeout_s = timeout_s
+
+    def _open(self) -> protocol.LineChannel:
+        return protocol.LineChannel(
+            protocol.connect(self.address, timeout_s=self.timeout_s)
+        )
+
+    @staticmethod
+    def _checked(response: Optional[dict]) -> dict:
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if not response.get("ok"):
+            raise ProtocolError(
+                response.get("error") or "server rejected the request"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        with self._open() as channel:
+            channel.send({"op": protocol.OP_PING})
+            return self._checked(channel.recv())
+
+    def status(self) -> list:
+        with self._open() as channel:
+            channel.send({"op": protocol.OP_STATUS})
+            return self._checked(channel.recv()).get("sweeps", [])
+
+    def shutdown(self) -> None:
+        with self._open() as channel:
+            channel.send({"op": protocol.OP_SHUTDOWN})
+            self._checked(channel.recv())
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: SweepSpec) -> str:
+        """Queue a sweep and return its id without waiting for it."""
+        with self._open() as channel:
+            channel.send(
+                {"op": protocol.OP_SUBMIT, "spec": spec.to_json_dict()}
+            )
+            return self._checked(channel.recv())["sweep"]
+
+    def submit_and_watch(self, spec: SweepSpec) -> Iterator[dict]:
+        """Queue a sweep and yield its event stream until it finishes.
+
+        The first yielded item is the acknowledgement (``{"ok": true,
+        "sweep": ...}``); every later item is an event object. The
+        stream ends after ``sweep.finished``.
+        """
+        channel = self._open()
+        try:
+            channel.send(
+                {"op": protocol.OP_SUBMIT, "spec": spec.to_json_dict(),
+                 "watch": True}
+            )
+            yield from self._follow(channel)
+        finally:
+            channel.close()
+
+    def watch(self, sweep_id: str) -> Iterator[dict]:
+        """Yield a sweep's event history then live events until it ends."""
+        channel = self._open()
+        try:
+            channel.send({"op": protocol.OP_WATCH, "sweep": sweep_id})
+            yield from self._follow(channel)
+        finally:
+            channel.close()
+
+    def _follow(self, channel: protocol.LineChannel) -> Iterator[dict]:
+        acknowledgement = self._checked(channel.recv())
+        yield acknowledgement
+        while True:
+            event = channel.recv()
+            if event is None:
+                return  # server stopped; the journal has the rest
+            yield event
+            if event.get("event") in protocol.TERMINAL_EVENTS:
+                return

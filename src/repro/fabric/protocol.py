@@ -1,0 +1,172 @@
+"""The ``repro-rrm serve`` wire protocol: line-delimited JSON.
+
+One request object per line from the client; one response object per
+line from the server, optionally followed by a stream of event objects
+(``submit --watch`` / ``watch``). The framing is a bare ``\\n`` — no
+length prefixes, no binary — so a sweep can be driven with ``nc`` and
+the stream is greppable.
+
+Addresses are either a Unix-socket path (the default; the server
+creates it) or ``host:port`` for TCP. Anything containing a colon is
+parsed as TCP, so relative paths stay unambiguous.
+
+Requests carry an ``op``::
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {...SweepSpec...}, "watch": true}
+    {"op": "status"}
+    {"op": "watch", "sweep": "sweep-001"}
+    {"op": "shutdown"}
+
+Responses carry ``ok`` (and ``error`` when false); streamed events
+carry ``event`` — ``sweep.queued`` / ``sweep.started`` /
+``sweep.finished``, the job lifecycle (``job.attempt`` / ``job.result``
+/ ``job.retry`` / ``job.failed``, plus ``fabric.*``), ``ledger.entry``
+(one per settled cell, the full fingerprinted entry) and
+``gate.verdict`` (when the server holds a baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+#: Maximum accepted line length (a defensive bound; a sweep spec or
+#: ledger entry is a few KB).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+OP_PING = "ping"
+OP_SUBMIT = "submit"
+OP_STATUS = "status"
+OP_WATCH = "watch"
+OP_SHUTDOWN = "shutdown"
+
+EVENT_SWEEP_QUEUED = "sweep.queued"
+EVENT_SWEEP_STARTED = "sweep.started"
+EVENT_SWEEP_FINISHED = "sweep.finished"
+EVENT_LEDGER_ENTRY = "ledger.entry"
+EVENT_GATE_VERDICT = "gate.verdict"
+
+#: Events that terminate a watch stream.
+TERMINAL_EVENTS = (EVENT_SWEEP_FINISHED,)
+
+Address = Union[str, Path]
+
+
+def parse_address(address: Address) -> Tuple[str, object]:
+    """``("tcp", (host, port))`` for ``host:port``, else ``("unix", path)``."""
+    address = str(address)
+    if not address:
+        raise ProtocolError("empty serve address")
+    if ":" in address:
+        host, _, port = address.rpartition(":")
+        try:
+            return "tcp", (host or "127.0.0.1", int(port))
+        except ValueError:
+            raise ProtocolError(
+                f"bad TCP address {address!r}: port must be an integer"
+            ) from None
+    return "unix", address
+
+
+def listen(address: Address, backlog: int = 16) -> socket.socket:
+    """Bind a listening server socket for *address*."""
+    family, target = parse_address(address)
+    if family == "unix":
+        path = Path(str(target))
+        path.unlink(missing_ok=True)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(str(path))
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(target)
+    sock.listen(backlog)
+    return sock
+
+
+def connect(address: Address, timeout_s: Optional[float] = None) -> socket.socket:
+    """Open a client connection to a serving *address*."""
+    family, target = parse_address(address)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout_s)
+    try:
+        sock.connect(target if family == "tcp" else str(target))
+    except OSError as exc:
+        sock.close()
+        raise ProtocolError(f"cannot connect to {address}: {exc}") from None
+    return sock
+
+
+class LineChannel:
+    """One connection's framing: JSON objects in, JSON objects out."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buffer = b""
+        self._eof = False
+
+    def send(self, message: dict) -> None:
+        try:
+            self.sock.sendall(
+                json.dumps(message, separators=(",", ":")).encode("utf-8")
+                + b"\n"
+            )
+        except OSError as exc:
+            raise ProtocolError(f"send failed: {exc}") from None
+
+    def recv(self) -> Optional[dict]:
+        """The next message, or ``None`` on a clean EOF."""
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = self._buffer[:newline]
+                self._buffer = self._buffer[newline + 1 :]
+                if not line.strip():
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError as exc:
+                    raise ProtocolError(f"bad message line: {exc}") from None
+                if not isinstance(message, dict):
+                    raise ProtocolError(
+                        f"expected a JSON object, got {type(message).__name__}"
+                    )
+                return message
+            if self._eof:
+                if self._buffer.strip():
+                    raise ProtocolError("connection closed mid-message")
+                return None
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError(
+                    f"message exceeds {MAX_LINE_BYTES} bytes"
+                )
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError as exc:
+                raise ProtocolError(f"recv failed: {exc}") from None
+            if not chunk:
+                self._eof = True
+                continue
+            self._buffer += chunk
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "LineChannel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

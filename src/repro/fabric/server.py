@@ -1,0 +1,380 @@
+"""``repro-rrm serve``: a thin batch service over the sweep fabric.
+
+The server accepts :class:`~repro.fabric.spec.SweepSpec` submissions
+over a local socket, schedules them sequentially on the fabric (each
+sweep itself fans out over ``spec.jobs`` worker processes), and streams
+progress events, per-cell ledger entries and — when pinned against a
+baseline — gate verdicts back to watching clients.
+
+Design choices, all in the service of crash-composability:
+
+- every sweep gets a predictably named journal
+  (``<journal_dir>/sweep-001.jsonl``), so a sweep interrupted by
+  killing the *server* resumes with the ordinary CLI:
+  ``repro-rrm sweep --resume --journal <dir>/sweep-001.jsonl --jobs N``;
+- sweeps run one at a time (the fabric already saturates the host;
+  queueing at the server keeps worker counts predictable);
+- every event is buffered per sweep, so a ``watch`` attached late
+  replays the full history before going live — clients never have to
+  race the scheduler.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import socket
+import threading
+import traceback
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, ProtocolError, ReproError
+from repro.fabric import protocol
+from repro.fabric.spec import SweepSpec
+
+#: How long a watch subscriber waits for the next event before checking
+#: whether the server is shutting down.
+_WATCH_POLL_S = 0.25
+
+
+class _SweepState:
+    """One submitted sweep: spec, lifecycle, and its event history."""
+
+    def __init__(self, sweep_id: str, spec: SweepSpec, journal_path: Path,
+                 ledger_path: Path) -> None:
+        self.sweep_id = sweep_id
+        self.spec = spec
+        self.journal_path = journal_path
+        self.ledger_path = ledger_path
+        self.state = "queued"  # queued | running | finished | failed
+        self.completed = 0
+        self.failed = 0
+        self.error: Optional[str] = None
+        self.lock = threading.Lock()
+        self.events: List[dict] = []
+        self.subscribers: List[queue_module.Queue] = []
+
+    # ------------------------------------------------------------------
+    def publish(self, event: dict) -> None:
+        """Record one event and fan it out to live subscribers."""
+        with self.lock:
+            self.events.append(event)
+            subscribers = list(self.subscribers)
+        for subscriber in subscribers:
+            subscriber.put(event)
+
+    def subscribe(self) -> queue_module.Queue:
+        """History-then-live event queue for one watcher."""
+        subscriber: queue_module.Queue = queue_module.Queue()
+        with self.lock:
+            for event in self.events:
+                subscriber.put(event)
+            self.subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: queue_module.Queue) -> None:
+        with self.lock:
+            if subscriber in self.subscribers:
+                self.subscribers.remove(subscriber)
+
+    def summary(self) -> dict:
+        with self.lock:
+            return {
+                "sweep": self.sweep_id,
+                "state": self.state,
+                "jobs": len(self.spec.keys()),
+                "completed": self.completed,
+                "failed": self.failed,
+                "workers": self.spec.jobs,
+                "journal": str(self.journal_path),
+                "ledger": str(self.ledger_path),
+                **({"error": self.error} if self.error else {}),
+            }
+
+
+class FabricServer:
+    """The batch service; one instance per ``repro-rrm serve`` process."""
+
+    def __init__(
+        self,
+        address,
+        journal_dir,
+        *,
+        baseline_path=None,
+        on_log=None,
+    ) -> None:
+        self.address = address
+        self.journal_dir = Path(journal_dir)
+        self.baseline_path = baseline_path
+        self.on_log = on_log
+        self._sweeps: Dict[str, _SweepState] = {}
+        self._order: List[str] = []
+        self._queue: "queue_module.Queue[Optional[str]]" = queue_module.Queue()
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._listener = None
+        self._threads: List[threading.Thread] = []
+
+    def _log(self, message: str) -> None:
+        if self.on_log is not None:
+            self.on_log(message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FabricServer":
+        """Bind the socket and start the accept + scheduler threads."""
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self._listener = protocol.listen(self.address)
+        self._listener.settimeout(_WATCH_POLL_S)
+        for name, target in (
+            ("fabric-accept", self._accept_loop),
+            ("fabric-scheduler", self._scheduler_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        self._log(f"serving on {self.address} (journals in {self.journal_dir})")
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, finish nothing: in-flight sweeps are abandoned
+        to their journals (that is the crash-recovery story, not a bug)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        self._queue.put(None)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        family, target = protocol.parse_address(self.address)
+        if family == "unix":
+            Path(str(target)).unlink(missing_ok=True)
+
+    def wait(self, timeout_s: Optional[float] = None) -> None:
+        """Block until the server stops (the CLI's foreground mode)."""
+        self._stopping.wait(timeout_s)
+        for thread in self._threads:
+            thread.join(timeout=_WATCH_POLL_S * 4)
+
+    # ------------------------------------------------------------------
+    # Submission / inspection (also usable in-process, without a socket)
+    # ------------------------------------------------------------------
+    def submit(self, spec: SweepSpec) -> str:
+        with self._lock:
+            sweep_id = f"sweep-{len(self._order) + 1:03d}"
+            state = _SweepState(
+                sweep_id,
+                spec,
+                journal_path=self.journal_dir / f"{sweep_id}.jsonl",
+                ledger_path=self.journal_dir / f"{sweep_id}.ledger.jsonl",
+            )
+            self._sweeps[sweep_id] = state
+            self._order.append(sweep_id)
+        state.publish(
+            {"event": protocol.EVENT_SWEEP_QUEUED, "sweep": sweep_id,
+             "spec": spec.to_json_dict()}
+        )
+        self._queue.put(sweep_id)
+        self._log(f"{sweep_id} queued ({len(spec.keys())} jobs)")
+        return sweep_id
+
+    def status(self) -> List[dict]:
+        with self._lock:
+            return [self._sweeps[sid].summary() for sid in self._order]
+
+    def sweep(self, sweep_id: str) -> _SweepState:
+        with self._lock:
+            try:
+                return self._sweeps[sweep_id]
+            except KeyError:
+                raise ProtocolError(f"unknown sweep {sweep_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _scheduler_loop(self) -> None:
+        while not self._stopping.is_set():
+            sweep_id = self._queue.get()
+            if sweep_id is None:
+                break
+            state = self.sweep(sweep_id)
+            try:
+                self._run_sweep(state)
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                with state.lock:
+                    state.state = "failed"
+                    state.error = f"{type(exc).__name__}: {exc}"
+                self._log(f"{sweep_id} failed: {state.error}")
+                self._log(traceback.format_exc())
+            state.publish(
+                {"event": protocol.EVENT_SWEEP_FINISHED, **state.summary()}
+            )
+
+    def _run_sweep(self, state: _SweepState) -> None:
+        from repro.obs.ledger import KIND_SWEEP, LedgerEntry, RunLedger
+        from repro.sim.runner import ExperimentRunner
+
+        spec = state.spec
+        with state.lock:
+            state.state = "running"
+        state.publish(
+            {"event": protocol.EVENT_SWEEP_STARTED, "sweep": state.sweep_id,
+             "jobs": len(spec.keys()), "workers": spec.jobs}
+        )
+        self._log(f"{state.sweep_id} started ({spec.jobs} workers)")
+        config = spec.build_config()
+
+        def on_event(name: str, args: dict) -> None:
+            state.publish({"event": name, "sweep": state.sweep_id, **args})
+
+        entries = []
+
+        def on_cell(workload, scheme, result) -> None:
+            entry = LedgerEntry.from_result(result, config, kind=KIND_SWEEP)
+            entries.append(entry)
+            with state.lock:
+                state.completed += 1
+            state.publish(
+                {"event": protocol.EVENT_LEDGER_ENTRY,
+                 "sweep": state.sweep_id, "entry": entry.to_json_dict()}
+            )
+
+        runner = ExperimentRunner(
+            config,
+            workloads=spec.workloads,
+            schemes=spec.build_schemes(),
+            max_events=spec.max_events,
+            n_jobs=spec.jobs,
+            journal_path=state.journal_path,
+            on_event=on_event,
+        )
+        runner.run_all(progress=on_cell)
+        with state.lock:
+            state.failed = len(runner.failures)
+            state.state = "finished"
+        # The fabric already merged worker ledger shards when spec.jobs
+        # > 1 and a ledger path was given; here the server owns the
+        # ledger and appends the entries it streamed, in sweep order.
+        ledger = RunLedger(state.ledger_path)
+        for entry in sorted(entries, key=lambda e: e.name):
+            ledger.append(entry)
+        self._gate(state, entries)
+        self._log(
+            f"{state.sweep_id} finished "
+            f"({state.completed} ok, {state.failed} failed)"
+        )
+
+    def _gate(self, state: _SweepState, entries) -> None:
+        """Judge the sweep against the pinned baseline, if one is set."""
+        if self.baseline_path is None or not entries:
+            return
+        from repro.obs.gate import (
+            compare_samples,
+            load_baseline,
+            samples_from_entries,
+        )
+
+        try:
+            report = compare_samples(
+                load_baseline(self.baseline_path),
+                samples_from_entries(entries),
+            )
+        except ReproError as exc:
+            state.publish(
+                {"event": protocol.EVENT_GATE_VERDICT,
+                 "sweep": state.sweep_id, "error": str(exc)}
+            )
+            return
+        state.publish(
+            {"event": protocol.EVENT_GATE_VERDICT, "sweep": state.sweep_id,
+             "counts": report.counts, "exit_code": report.exit_code(),
+             "report": report.to_json_dict()}
+        )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by stop()
+            conn.settimeout(None)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(protocol.LineChannel(conn),),
+                name="fabric-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, channel: protocol.LineChannel) -> None:
+        with channel:
+            try:
+                while not self._stopping.is_set():
+                    request = channel.recv()
+                    if request is None:
+                        return
+                    try:
+                        if self._handle(channel, request):
+                            return
+                    except (ProtocolError, ConfigError) as exc:
+                        channel.send({"ok": False, "error": str(exc)})
+            except ProtocolError:
+                return  # client went away or spoke garbage; drop it
+
+    def _handle(self, channel: protocol.LineChannel, request: dict) -> bool:
+        """Serve one request; True means the connection is finished."""
+        op = request.get("op")
+        if op == protocol.OP_PING:
+            channel.send(
+                {"ok": True, "version": protocol.PROTOCOL_VERSION,
+                 "sweeps": len(self._order)}
+            )
+        elif op == protocol.OP_SUBMIT:
+            spec = SweepSpec.from_json_dict(request.get("spec") or {})
+            sweep_id = self.submit(spec)
+            channel.send({"ok": True, "sweep": sweep_id})
+            if request.get("watch"):
+                self._stream(channel, sweep_id)
+                return True
+        elif op == protocol.OP_STATUS:
+            channel.send({"ok": True, "sweeps": self.status()})
+        elif op == protocol.OP_WATCH:
+            sweep_id = request.get("sweep")
+            if not sweep_id:
+                raise ProtocolError("watch needs a 'sweep' id")
+            self.sweep(sweep_id)  # validate before acking
+            channel.send({"ok": True, "sweep": sweep_id})
+            self._stream(channel, sweep_id)
+            return True
+        elif op == protocol.OP_SHUTDOWN:
+            channel.send({"ok": True})
+            self._log("shutdown requested")
+            self.stop()
+            return True
+        else:
+            raise ProtocolError(f"unknown op {op!r}")
+        return False
+
+    def _stream(self, channel: protocol.LineChannel, sweep_id: str) -> None:
+        """Replay + follow one sweep's events until it finishes."""
+        state = self.sweep(sweep_id)
+        subscriber = state.subscribe()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    event = subscriber.get(timeout=_WATCH_POLL_S)
+                except queue_module.Empty:
+                    continue
+                channel.send(event)
+                if event.get("event") in protocol.TERMINAL_EVENTS:
+                    return
+        finally:
+            state.unsubscribe(subscriber)

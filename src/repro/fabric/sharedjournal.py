@@ -1,0 +1,208 @@
+"""The checkpoint journal as a shared work queue.
+
+The resilience journal (:mod:`repro.resilience.journal`) already makes
+every settled job durable and exactly-once on resume. The fabric spends
+that capital on parallelism: N worker processes treat one journal file
+as the queue, claiming jobs by appending *lease* records and settling
+them by appending the usual result/failure records. All scheduling
+state lives in the file, so worker crashes, coordinator crashes, and
+``--resume`` all compose for free — whatever survives in the journal
+*is* the truth.
+
+Concurrency protocol:
+
+- every read-decide-append critical section runs under an exclusive
+  :class:`~repro.fabric.locking.FileLock` on ``<journal>.lock``;
+- records are appended with a single ``O_APPEND`` write (POSIX appends
+  don't interleave), and the appender repairs a torn tail (a crash mid-
+  write) by truncating the fragment before adding its own line — a
+  fragment is by definition an incomplete record from a dead writer, so
+  dropping it loses nothing and readers never see a corrupt line;
+- a *claim* carries a wall-clock lease deadline. A claim whose lease
+  expired, or that was explicitly released (worker death, retry,
+  timeout), makes the job claimable again with the next attempt number
+  — attempt counts are derived from the journal, so deterministic
+  fault plans (``crash:0:1``) fire identically under any worker count.
+
+Exactly-once: a job is *done* when a result or failure record exists.
+Claims are advisory. In the worst race (a lease expires while its
+worker is still running) two workers may run the same job, but the
+simulation is deterministic per seed, so both append byte-identical
+result records and the merge keyed by (workload, scheme) is unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.fabric.locking import FileLock
+from repro.resilience.journal import JOURNAL_VERSION, JournalContents, ResultJournal
+
+Key = Tuple[str, str]  # (workload, scheme value)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One granted lease: which job, which try, and whether it was stolen."""
+
+    key: Key
+    attempt: int  # 1-based, derived from prior claim count
+    stolen: bool  # claimed from outside the worker's own shard
+    expires_unix_s: float
+
+
+class SharedJournal:
+    """Concurrent, locked access to one sweep journal.
+
+    Unlike :class:`~repro.resilience.journal.ResultJournal` (a single-
+    writer that rewrites the file atomically), this accessor only ever
+    *appends* — the rewrite pattern would lose records under concurrent
+    writers. Both produce/consume the same record schema, so a fabric
+    journal loads with ``ResultJournal.load`` and resumes with
+    ``resume_from`` like any serial one.
+    """
+
+    def __init__(self, path, *, lock_timeout_s: float = 30.0) -> None:
+        self.path = Path(path)
+        self.lock = FileLock(self.path, timeout_s=lock_timeout_s)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def start(self, meta: dict) -> None:
+        """Begin a fresh journal (truncates any existing file)."""
+        with self.lock:
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            tmp.write_text(
+                json.dumps({"type": "meta", "version": JOURNAL_VERSION, **meta})
+                + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.path)
+
+    def _append_locked(self, record: dict) -> None:
+        """Append one record; caller must hold the lock."""
+        line = json.dumps(record).encode("utf-8")
+        # Repair a torn tail first: a file not ending in "\n" means a
+        # writer died mid-append (single-write appends under the lock
+        # can't be observed half-done otherwise). The fragment is an
+        # incomplete record, so truncating it back to the last complete
+        # line loses nothing — and keeps the strict journal loader, which
+        # treats mid-file garbage as corruption, happy.
+        if self.path.exists():
+            data = self.path.read_bytes()
+            if data and not data.endswith(b"\n"):
+                keep = data.rfind(b"\n") + 1
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(keep)
+        fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line + b"\n")
+        finally:
+            os.close(fd)
+
+    def append(self, record: dict) -> None:
+        with self.lock:
+            self._append_locked(record)
+
+    def append_result(self, workload: str, scheme: str, result: dict,
+                      *, worker: Optional[int] = None) -> None:
+        record = {"type": "result", "workload": workload, "scheme": scheme,
+                  "result": result}
+        if worker is not None:
+            record["worker"] = worker
+        self.append(record)
+
+    def append_failure(self, workload: str, scheme: str, failure: dict,
+                       *, worker: Optional[int] = None) -> None:
+        record = {"type": "failure", "workload": workload, "scheme": scheme,
+                  "failure": failure}
+        if worker is not None:
+            record["worker"] = worker
+        self.append(record)
+
+    def release(self, key: Key, worker: int, reason: str) -> None:
+        """Return *key* to the queue (lease abandoned before settling)."""
+        self.append(
+            {"type": "release", "workload": key[0], "scheme": key[1],
+             "worker": worker, "reason": reason}
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> JournalContents:
+        with self.lock:
+            return ResultJournal.load(self.path)
+
+    @staticmethod
+    def _claimable(contents: JournalContents, key: Key, now: float) -> bool:
+        if key in contents.results or key in contents.failures:
+            return False
+        claims = contents.claims.get(key, ())
+        releases = contents.releases.get(key, ())
+        if len(claims) > len(releases):
+            # Outstanding lease; claimable only once it has expired.
+            return claims[-1].get("expires_unix_s", float("inf")) <= now
+        return True
+
+    # ------------------------------------------------------------------
+    # The queue operation
+    # ------------------------------------------------------------------
+    def claim_next(
+        self,
+        worker: int,
+        shard: Sequence[Key],
+        all_keys: Sequence[Key],
+        *,
+        lease_s: float,
+        clock: Callable[[], float] = time.time,
+    ) -> Optional[Claim]:
+        """Atomically lease the next runnable job, or ``None``.
+
+        Own-shard jobs are preferred (cache-friendly, steal-free steady
+        state); once the shard drains, unclaimed work is stolen from the
+        rest of the sweep in sweep order. Returns ``None`` when nothing
+        is currently claimable — which means either the sweep is done or
+        every remaining job is leased to another live worker.
+        """
+        with self.lock:
+            contents = ResultJournal.load(self.path)
+            now = clock()
+            chosen: Optional[Key] = None
+            stolen = False
+            for key in shard:
+                if self._claimable(contents, key, now):
+                    chosen = key
+                    break
+            if chosen is None:
+                own = set(shard)
+                for key in all_keys:
+                    if key not in own and self._claimable(contents, key, now):
+                        chosen, stolen = key, True
+                        break
+            if chosen is None:
+                return None
+            attempt = len(contents.claims.get(chosen, ())) + 1
+            expires = now + lease_s
+            self._append_locked(
+                {"type": "claim", "workload": chosen[0], "scheme": chosen[1],
+                 "worker": worker, "attempt": attempt,
+                 "expires_unix_s": expires}
+            )
+            return Claim(
+                key=chosen, attempt=attempt, stolen=stolen,
+                expires_unix_s=expires,
+            )
+
+    # ------------------------------------------------------------------
+    def unsettled(self, all_keys: Iterable[Key]) -> List[Key]:
+        """Keys still lacking a result/failure record, in sweep order."""
+        contents = self.load()
+        done = contents.settled()
+        return [key for key in all_keys if key not in done]

@@ -41,6 +41,7 @@ from repro.obs.ledger import (
     entries_by_name,
     environment_fingerprint,
     git_revision,
+    merge_ledgers,
     metric_series,
 )
 from repro.obs.progress import RunProgress, SweepProgress
@@ -83,6 +84,7 @@ __all__ = [
     "git_revision",
     "load_baseline",
     "load_rules",
+    "merge_ledgers",
     "metric_series",
     "render_dashboard",
     "rule_for",

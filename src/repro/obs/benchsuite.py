@@ -133,10 +133,13 @@ def run_core_suite(
 def write_bench_json(path, entries: List[LedgerEntry]) -> Path:
     """Write the repo-root suite summary (``BENCH_core.json``).
 
-    Host-dependent ``wall_time_s`` is excluded so the committed file
-    only changes when the simulation itself changes.
+    Host-dependent metrics (``wall_time_s`` and the derived
+    ``sim_events_per_sec`` throughput) are excluded so the committed
+    file only changes when the simulation itself changes; the
+    deterministic ``sim_events`` count stays in.
     """
     path = Path(path)
+    host_dependent = {"wall_time_s", "sim_events_per_sec"}
     payload = {
         "schema": BENCH_SCHEMA,
         "suite": SUITE_NAME,
@@ -148,7 +151,7 @@ def write_bench_json(path, entries: List[LedgerEntry]) -> Path:
                 "metrics": {
                     k: v
                     for k, v in sorted(entry.metrics.items())
-                    if k != "wall_time_s"
+                    if k not in host_dependent
                 },
             }
             for entry in entries

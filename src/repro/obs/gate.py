@@ -40,6 +40,7 @@ DEFAULT_BOOTSTRAP_ROUNDS = 2000
 #: Verdict severities, used for report ordering.
 _VERDICT_ORDER = (
     "regression",
+    "advisory",
     "missing",
     "incomparable",
     "new",
@@ -51,12 +52,20 @@ _VERDICT_ORDER = (
 
 @dataclass(frozen=True)
 class GateRule:
-    """Direction and guard band for every metric matching a pattern."""
+    """Direction and guard band for every metric matching a pattern.
+
+    A *report_only* rule still judges its metric, but a would-be
+    regression becomes an ``advisory`` verdict: visible in the report,
+    never in the exit code. That is the right posture for host-dependent
+    throughput numbers (``sim_events_per_sec``) that are worth watching
+    but would make CI flaky as hard gates.
+    """
 
     metric: str  # fnmatch-style pattern against the metric name
     direction: str  # "up" = larger is better, "down" = smaller is better
     threshold: float  # relative guard band (0.05 = 5%)
     note: str = ""
+    report_only: bool = False
 
     def __post_init__(self) -> None:
         if self.direction not in ("up", "down"):
@@ -96,6 +105,13 @@ DEFAULT_RULES: Tuple[GateRule, ...] = (
     ),
     GateRule("*refresh*", "down", 0.05, "refresh overhead"),
     GateRule("row_hit_rate", "up", 0.05),
+    GateRule(
+        "sim_events_per_sec",
+        "up",
+        0.50,
+        "host-dependent simulator throughput; watched, never gating",
+        report_only=True,
+    ),
 )
 
 
@@ -130,6 +146,7 @@ def load_rules(path) -> List[GateRule]:
                     direction=item["direction"],
                     threshold=float(item["threshold"]),
                     note=item.get("note", ""),
+                    report_only=bool(item.get("report_only", False)),
                 )
             )
         except (KeyError, TypeError) as exc:
@@ -214,6 +231,11 @@ class GateReport:
     @property
     def regressions(self) -> List[MetricVerdict]:
         return self.by_verdict("regression")
+
+    @property
+    def advisories(self) -> List[MetricVerdict]:
+        """Would-be regressions on report-only rules; never gate."""
+        return self.by_verdict("advisory")
 
     @property
     def improvements(self) -> List[MetricVerdict]:
@@ -373,9 +395,11 @@ def _judge_metric(
         # A metric appearing from zero: its direction decides directly.
         grew_is_bad = rule.direction == "down"
         worse = cur_mean > 0 if grew_is_bad else cur_mean < 0
-        return MetricVerdict(
-            verdict="regression" if worse else "improvement", **common
-        )
+        if worse:
+            verdict = "advisory" if rule.report_only else "regression"
+        else:
+            verdict = "improvement"
+        return MetricVerdict(verdict=verdict, **common)
     delta, lo, hi = bootstrap_rel_delta(
         base, cur, n_boot=n_boot, confidence=confidence, seed=seed
     )
@@ -396,6 +420,8 @@ def _judge_metric(
             verdict = "improvement"
         else:
             verdict = "ok"
+    if verdict == "regression" and rule.report_only:
+        verdict = "advisory"
     return MetricVerdict(verdict=verdict, **common)
 
 

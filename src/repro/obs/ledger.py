@@ -145,11 +145,13 @@ class LedgerEntry:
         """Build an entry from a :class:`~repro.sim.metrics.SimResult`.
 
         Metrics are the numeric fields of ``result.as_dict()`` plus
-        ``wall_time_s``; runs with latency attribution enabled also
-        contribute their flat ``attr_*`` metrics (refresh-interference
-        share and friends), making them gateable like any other number.
-        *extra_metrics* (e.g. a registry snapshot's numeric values) are
-        merged on top.
+        ``wall_time_s``, the deterministic engine event count
+        (``sim_events``) and the host-dependent simulator throughput
+        (``sim_events_per_sec``, gated report-only); runs with latency
+        attribution enabled also contribute their flat ``attr_*``
+        metrics (refresh-interference share and friends), making them
+        gateable like any other number. *extra_metrics* (e.g. a registry
+        snapshot's numeric values) are merged on top.
         """
         metrics: Dict[str, float] = {
             key: value
@@ -157,6 +159,13 @@ class LedgerEntry:
             if isinstance(value, (int, float)) and not isinstance(value, bool)
         }
         metrics["wall_time_s"] = result.wall_time_s
+        sim_events = getattr(result, "sim_events", 0)
+        if sim_events:
+            metrics["sim_events"] = float(sim_events)
+            if result.wall_time_s > 0:
+                metrics["sim_events_per_sec"] = (
+                    sim_events / result.wall_time_s
+                )
         attribution = getattr(result, "attribution", None)
         if attribution:
             metrics.update(
@@ -245,6 +254,47 @@ class RunLedger:
                 )
             entries.append(LedgerEntry.from_json_dict(record))
         return entries
+
+
+# ----------------------------------------------------------------------
+# Sharded-ledger merge (the fabric's per-worker part files)
+# ----------------------------------------------------------------------
+def merge_ledgers(
+    part_paths, out_path, *, dedupe: bool = True
+) -> List[LedgerEntry]:
+    """Merge per-worker ledger shards into one ledger, deterministically.
+
+    Workers append in completion order, which varies run to run; the
+    merge sorts by ``(kind, name)`` so the combined ledger is ordered
+    exactly like a serial sweep's (the CLI appends serial sweep entries
+    sorted by workload/scheme). Lease-expiry races can make two workers
+    record the same cell — with *dedupe* (the default) only the first
+    entry per ``(kind, name)`` survives, matching the journal's
+    exactly-once merge. Missing part files are skipped (that worker
+    settled no jobs). Entries append to *out_path*, which may already
+    hold earlier sweeps. Returns the entries appended.
+    """
+    entries: List[LedgerEntry] = []
+    for path in part_paths:
+        try:
+            entries.extend(RunLedger.load(path))
+        except FileNotFoundError:
+            continue
+    entries.sort(key=lambda e: (e.kind, e.name, e.recorded_unix_s))
+    if dedupe:
+        seen = set()
+        unique: List[LedgerEntry] = []
+        for entry in entries:
+            key = (entry.kind, entry.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(entry)
+        entries = unique
+    ledger = RunLedger(out_path)
+    for entry in entries:
+        ledger.append(entry)
+    return entries
 
 
 # ----------------------------------------------------------------------

@@ -18,20 +18,74 @@ Record shapes::
     {"type": "meta", "version": 1, "seed": ..., "workloads": [...], "schemes": [...]}
     {"type": "result", "workload": w, "scheme": s, "result": {...}}
     {"type": "failure", "workload": w, "scheme": s, "failure": {...}}
+
+The sharded sweep fabric (:mod:`repro.fabric`) additionally uses the
+journal as a shared work queue, interleaving lease records between the
+settled ones::
+
+    {"type": "claim", "workload": w, "scheme": s, "worker": id,
+     "attempt": n, "expires_unix_s": t}
+    {"type": "release", "workload": w, "scheme": s, "worker": id,
+     "reason": "retry" | "worker-died" | "timeout"}
+
+Claims and releases are advisory scheduling state, not results: the
+loader collects them (so the fabric can reconstruct the queue) and
+:meth:`ResultJournal.resume_from` drops them along with failures.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import CheckpointCorruptError
 from repro.telemetry.trace import NULL_TRACER
 
 JOURNAL_VERSION = 1
+
+
+def sweep_fingerprint(
+    config,
+    workloads: Iterable[str],
+    schemes: Iterable[str],
+    max_events: Optional[int] = None,
+) -> Dict[str, str]:
+    """The identity stamp a journal carries so ``--resume`` can refuse a
+    mismatched sweep instead of silently mixing results.
+
+    Two sha256 digests: ``config_sha256`` over the configuration's full
+    field tree (dataclasses serialise their ``asdict``; anything else
+    hashes its ``repr``) and ``spec_sha256`` over the sweep definition
+    (workloads, schemes, max_events). Equal stamps mean the journal's
+    results are drop-in valid for the resuming sweep.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        config_payload = json.dumps(
+            dataclasses.asdict(config), sort_keys=True, default=repr
+        )
+    else:
+        config_payload = repr(config)
+    spec_payload = json.dumps(
+        {
+            "workloads": list(workloads),
+            "schemes": list(schemes),
+            "max_events": max_events,
+        },
+        sort_keys=True,
+    )
+    return {
+        "config_sha256": hashlib.sha256(
+            config_payload.encode("utf-8")
+        ).hexdigest(),
+        "spec_sha256": hashlib.sha256(
+            spec_payload.encode("utf-8")
+        ).hexdigest(),
+    }
 
 
 @dataclass
@@ -41,8 +95,15 @@ class JournalContents:
     meta: Optional[dict] = None
     results: Dict[Tuple[str, str], dict] = field(default_factory=dict)
     failures: Dict[Tuple[str, str], dict] = field(default_factory=dict)
+    #: Fabric lease records, in append order, keyed like results.
+    claims: Dict[Tuple[str, str], List[dict]] = field(default_factory=dict)
+    releases: Dict[Tuple[str, str], List[dict]] = field(default_factory=dict)
     #: True when a truncated final line was dropped.
     truncated: bool = False
+
+    def settled(self) -> set:
+        """Keys with a durable outcome (result or failure)."""
+        return set(self.results) | set(self.failures)
 
 
 class ResultJournal:
@@ -143,6 +204,14 @@ class ResultJournal:
                 contents.failures[(record["workload"], record["scheme"])] = (
                     record["failure"]
                 )
+            elif kind == "claim":
+                contents.claims.setdefault(
+                    (record["workload"], record["scheme"]), []
+                ).append(record)
+            elif kind == "release":
+                contents.releases.setdefault(
+                    (record["workload"], record["scheme"]), []
+                ).append(record)
             else:
                 raise CheckpointCorruptError(
                     f"{path}: unknown journal record type {kind!r} "
@@ -155,8 +224,10 @@ class ResultJournal:
         """Seed this journal with the surviving records of *contents*.
 
         Failure records are dropped (their jobs re-run and re-journal),
-        result records are kept verbatim, and the file is rewritten
-        atomically so the on-disk journal matches the resumed sweep.
+        as are fabric claim/release leases (scheduling state from a dead
+        fleet); result records are kept verbatim, and the file is
+        rewritten atomically so the on-disk journal matches the resumed
+        sweep.
         """
         self._lines = [
             json.dumps({"type": "meta", "version": JOURNAL_VERSION, **meta})

@@ -114,6 +114,14 @@ class SimResult:
     rrm_stats: Optional[dict] = None
     stalls: Optional[dict] = None
     wall_time_s: float = 0.0
+    #: Engine events processed by the run — a deterministic measure of
+    #: simulated work. ``sim_events / wall_time_s`` is the simulator's
+    #: throughput (events/s), recorded host-dependently in run-ledger
+    #: entries as ``sim_events_per_sec``. Kept off :meth:`as_dict`
+    #: because observers (progress ticks) legitimately change the event
+    #: count without changing any simulation statistic, and the flat
+    #: reporting view is the bit-identity comparison surface.
+    sim_events: int = 0
     #: Latency-anatomy summary (repro.attribution) when the run had
     #: attribution enabled; holds the blamed-time digest plus a flat
     #: ``ledger_metrics`` map merged into run-ledger entries. Kept off

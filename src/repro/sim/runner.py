@@ -19,7 +19,7 @@ import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import CheckpointCorruptError, ConfigError
 from repro.resilience import (
     FailedRun,
     FaultPlan,
@@ -28,6 +28,7 @@ from repro.resilience import (
     ResultJournal,
     RetryPolicy,
 )
+from repro.resilience.journal import sweep_fingerprint
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import SimResult
 from repro.sim.schemes import Scheme, all_schemes
@@ -91,6 +92,17 @@ class ExperimentRunner:
             exponential backoff and seeded jitter).
         journal_path: optional JSONL checkpoint journal; every settled
             job is appended atomically so a crashed sweep can resume.
+        n_jobs: when > 1, the sweep runs on the sharded fabric
+            (:class:`~repro.fabric.executor.FabricExecutor`): N worker
+            processes share the journal as a work-stealing queue.
+            Results are bit-identical to ``n_jobs=1`` for the same
+            seeds. Distinct from *n_workers*, which sizes the serial
+            supervisor's crash-isolation subprocess pool.
+        lease_s: fabric claim lease duration (ignored serially).
+        ledger_path: optional run ledger; fabric workers append their
+            cells to per-worker shards which are merged deterministically
+            when the sweep completes (ignored serially — the CLI appends
+            serial sweeps itself).
         fault_plan: optional fault-injection plan (tests / drills).
         tracer: optional wall-clock :class:`~repro.telemetry.Tracer`
             (``Tracer.wallclock()``); job lifecycle transitions and
@@ -110,15 +122,20 @@ class ExperimentRunner:
         *,
         max_events: Optional[int] = None,
         n_workers: int = 1,
+        n_jobs: int = 1,
         timeout_s: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
         journal_path=None,
+        lease_s: float = 300.0,
+        ledger_path=None,
         fault_plan: Optional[FaultPlan] = None,
         tracer=NULL_TRACER,
         on_event=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if n_jobs < 1:
+            raise ConfigError(f"n_jobs must be >= 1, got {n_jobs}")
         if max_events is not None and max_events < 1:
             raise ConfigError(f"max_events must be >= 1, got {max_events}")
         if timeout_s is not None and timeout_s <= 0:
@@ -128,15 +145,20 @@ class ExperimentRunner:
         self.schemes = list(schemes) if schemes else all_schemes()
         self.max_events = max_events
         self.n_workers = n_workers
+        self.n_jobs = n_jobs
         self.timeout_s = timeout_s
         self.retry = retry or RetryPolicy()
         self.journal_path = journal_path
+        self.lease_s = lease_s
+        self.ledger_path = ledger_path
         self.fault_plan = fault_plan
         self.tracer = tracer
         self.on_event = on_event
         self.results: Dict[ResultKey, SimResult] = {}
         self.failures: Dict[ResultKey, FailedRun] = {}
+        self.fabric_stats = None  # FabricStats after an n_jobs > 1 sweep
         self._journal: Optional[ResultJournal] = None
+        self._resumed = False
 
     def _on_supervisor_event(self, name: str, args: dict) -> None:
         """Forward supervisor lifecycle transitions to the sweep tracer
@@ -159,6 +181,8 @@ class ExperimentRunner:
             progress: Optional callable ``(workload, scheme, result)``
                 invoked after each run (e.g. to print a line).
         """
+        if self.n_jobs > 1:
+            return self._run_fabric(progress)
         jobs = [
             Job(
                 key=(workload, scheme.value),
@@ -208,6 +232,68 @@ class ExperimentRunner:
         supervisor.run(jobs, on_result=on_result, on_failure=on_failure)
         return self.results
 
+    def _run_fabric(self, progress=None) -> Dict[ResultKey, SimResult]:
+        """Route the sweep through the sharded multiprocess fabric."""
+        from repro.fabric.executor import FabricExecutor
+
+        remaining = [
+            (workload, scheme)
+            for workload in self.workloads
+            for scheme in self.schemes
+            if (workload, scheme) not in self.results
+        ]
+        if not remaining:
+            return self.results
+
+        def on_result(key, result) -> None:
+            workload, scheme_value = key
+            scheme = Scheme(scheme_value)
+            self.results[(workload, scheme)] = result
+            self.failures.pop((workload, scheme), None)
+            if progress is not None:
+                progress(workload, scheme, result)
+
+        def on_failure(failed: FailedRun) -> None:
+            workload, scheme_value = failed.key
+            self.failures[(workload, Scheme(scheme_value))] = failed
+
+        executor = FabricExecutor(
+            self.n_jobs,
+            journal_path=self.journal_path,
+            lease_s=self.lease_s,
+            timeout_s=self.timeout_s,
+            retry=self.retry,
+            fault_plan=self.fault_plan,
+            seed=self.config.seed,
+            ledger_path=self.ledger_path,
+            on_event=(
+                self._on_supervisor_event
+                if (self.tracer.enabled or self.on_event is not None)
+                else None
+            ),
+            on_result=on_result,
+            on_failure=on_failure,
+        )
+        outcome = executor.run(
+            self.config,
+            self.workloads,
+            self.schemes,
+            max_events=self.max_events,
+            meta=self._journal_meta(),
+            # resume() already seeded the journal with surviving results;
+            # a fresh start here would wipe them.
+            fresh=not self._resumed,
+        )
+        self.fabric_stats = outcome.stats
+        # The journal is the truth; events were only the live stream.
+        for (workload, scheme_value), result in outcome.results.items():
+            self.results[(workload, Scheme(scheme_value))] = result
+        for (workload, scheme_value), failed in outcome.failures.items():
+            key = (workload, Scheme(scheme_value))
+            if key not in self.results:
+                self.failures[key] = failed
+        return self.results
+
     def _ensure_journal(self) -> Optional[ResultJournal]:
         """The active journal, starting a fresh one on first use."""
         if self.journal_path is None:
@@ -222,7 +308,50 @@ class ExperimentRunner:
             "seed": self.config.seed,
             "workloads": list(self.workloads),
             "schemes": [s.value for s in self.schemes],
+            "fingerprint": sweep_fingerprint(
+                self.config,
+                self.workloads,
+                [s.value for s in self.schemes],
+                self.max_events,
+            ),
         }
+
+    def _validate_fingerprint(self, path, meta: Optional[dict]) -> None:
+        """Refuse to resume a journal written for a different sweep.
+
+        Journals carry a ``fingerprint`` in their meta record (config
+        hash + sweep-spec hash). A mismatch means the resuming runner
+        would silently mix results from different configurations, so it
+        raises :class:`CheckpointCorruptError` instead. Journals from
+        before fingerprinting (no ``fingerprint`` key) are trusted
+        as-is.
+        """
+        recorded = (meta or {}).get("fingerprint")
+        if not isinstance(recorded, dict):
+            return
+        expected = sweep_fingerprint(
+            self.config,
+            self.workloads,
+            [s.value for s in self.schemes],
+            self.max_events,
+        )
+        mismatched = [
+            name
+            for name in ("config_sha256", "spec_sha256")
+            if recorded.get(name) != expected[name]
+        ]
+        if mismatched:
+            detail = ", ".join(
+                f"{name}: journal {str(recorded.get(name))[:12]}… != "
+                f"sweep {expected[name][:12]}…"
+                for name in mismatched
+            )
+            raise CheckpointCorruptError(
+                f"{path}: journal belongs to a different sweep ({detail}). "
+                "Resuming would mix results across configurations; re-run "
+                "with the journal's original config/workloads/schemes/"
+                "max-events, or delete the journal to start over."
+            )
 
     # ------------------------------------------------------------------
     def resume(self, path=None, progress=None) -> Dict[ResultKey, SimResult]:
@@ -237,6 +366,7 @@ class ExperimentRunner:
         if path is None:
             raise ConfigError("resume() needs a journal path")
         contents = ResultJournal.load(path)
+        self._validate_fingerprint(path, contents.meta)
         domain = {
             (w, s.value) for w in self.workloads for s in self.schemes
         }
@@ -253,6 +383,7 @@ class ExperimentRunner:
         self.journal_path = path
         self._journal = ResultJournal(path, tracer=self.tracer)
         self._journal.resume_from(contents, self._journal_meta())
+        self._resumed = True
         return self.run_all(progress=progress)
 
     # ------------------------------------------------------------------

@@ -276,6 +276,7 @@ class System:
             n_blocks=config.memory.n_blocks,
         )
         result.wall_time_s = wall_time_s
+        result.sim_events = self.sim.events_processed
         result.per_core_ipc = self.multicore.per_core_ipc(duration_ns)
         result.ipc = self.multicore.aggregate_ipc(duration_ns)
         result.instructions = snap["cpu.retired_instructions"]
