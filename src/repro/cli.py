@@ -656,6 +656,8 @@ def cmd_lint(args) -> int:
             paths=args.paths or None,
             baseline=args.baseline,
             update_baseline=args.update_baseline,
+            select=args.select,
+            ignore=args.ignore,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1015,7 +1017,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="static simulator-invariant analysis (rules RL001-RL006)",
+        help="static simulator/orchestration-invariant analysis "
+        "(rules RL001-RL012)",
     )
     p_lint.add_argument(
         "paths",
@@ -1046,6 +1049,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="fail (exit 1) on warnings too, not just errors",
+    )
+    p_lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="run only these rules: comma-separated ids and/or ranges "
+        "(e.g. RL007,RL010 or RL007-RL012)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="skip these rules (same grammar as --select)",
     )
     p_lint.set_defaults(func=cmd_lint)
 

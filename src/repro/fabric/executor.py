@@ -28,8 +28,8 @@ fabric only changes *where* each deterministic simulation runs.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import queue as queue_module
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -69,6 +69,10 @@ class FabricStats:
     retries: int = 0
     releases: int = 0
     respawns: int = 0
+    #: Advisory lifecycle events workers dropped because the event
+    #: queue was unusable (dead coordinator); journal records are
+    #: unaffected.
+    events_dropped: int = 0
     wall_s: float = 0.0
     #: Per-worker wall seconds spent inside simulations.
     worker_busy_s: Dict[int, float] = field(default_factory=dict)
@@ -95,6 +99,7 @@ class FabricStats:
         registry.gauge(f"{prefix}.queue_depth", lambda: self.queue_depth)
         registry.gauge(f"{prefix}.retries", lambda: self.retries)
         registry.gauge(f"{prefix}.respawns", lambda: self.respawns)
+        registry.gauge(f"{prefix}.events_dropped", lambda: self.events_dropped)
         registry.gauge(f"{prefix}.utilization", lambda: self.utilization)
 
     def as_dict(self) -> dict:
@@ -107,6 +112,7 @@ class FabricStats:
             "retries": self.retries,
             "releases": self.releases,
             "respawns": self.respawns,
+            "events_dropped": self.events_dropped,
             "queue_depth": self.queue_depth,
             "utilization": self.utilization,
             "wall_s": self.wall_s,
@@ -153,11 +159,24 @@ def _fabric_worker_main(
 
         ledger = RunLedger(ledger_part)
 
+    events_dropped = 0
+
     def emit(name: str, args: dict) -> None:
+        # A dead coordinator must not crash the worker, but dropped
+        # events leave evidence: a counter (reported with worker.done)
+        # and one stderr line per outage.
+        nonlocal events_dropped
         try:
             events.put((worker_id, name, args))
-        except Exception:
-            pass  # a dead coordinator must not crash the worker
+        except Exception as exc:  # noqa: BLE001 - any queue failure
+            events_dropped += 1
+            if events_dropped == 1:
+                print(
+                    f"fabric worker {worker_id}: event channel down "
+                    f"({type(exc).__name__}: {exc}); dropping lifecycle "
+                    "events (journal records remain authoritative)",
+                    file=sys.stderr,
+                )
 
     busy_s = 0.0
     jobs_done = 0
@@ -209,7 +228,9 @@ def _fabric_worker_main(
                 error_type = type(exc).__name__
                 if retry.should_retry(claim.attempt, error_type):
                     delay = retry.delay_s(claim.key, claim.attempt, seed)
-                    journal.release(claim.key, worker_id, "retry")
+                    journal.release(
+                        claim.key, worker_id, f"retry:{error_type}"
+                    )
                     emit(
                         "job.retry",
                         {"key": list(claim.key), "attempt": claim.attempt,
@@ -255,7 +276,7 @@ def _fabric_worker_main(
         emit(
             "fabric.worker.done",
             {"worker": worker_id, "busy_s": busy_s, "jobs": jobs_done,
-             "stolen": stolen},
+             "stolen": stolen, "events_dropped": events_dropped},
         )
 
 
@@ -300,6 +321,9 @@ class FabricExecutor:
             through ``on_result``.
         on_result: ``(key, SimResult)`` fired in completion order.
         on_failure: ``(FailedRun)`` fired when a job exhausts retries.
+        clock: monotonic clock used for coordinator timeout/grace
+            decisions; injectable so expiry paths are testable without
+            sleeping (RL011).
     """
 
     def __init__(
@@ -316,6 +340,7 @@ class FabricExecutor:
         on_event: Optional[Callable[[str, dict], None]] = None,
         on_result: Optional[Callable[[Key, SimResult], None]] = None,
         on_failure: Optional[Callable[[FailedRun], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if n_jobs < 1:
             raise ConfigError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -334,6 +359,7 @@ class FabricExecutor:
         self.on_event = on_event
         self.on_result = on_result
         self.on_failure = on_failure
+        self._clock = clock
         self.stats = FabricStats(n_workers=n_jobs)
 
     def _emit(self, name: str, args: dict) -> None:
@@ -457,8 +483,8 @@ class FabricExecutor:
                     time.sleep(_POLL_S)
             # Give workers a moment to notice completion and exit, then
             # drain their final lifecycle events.
-            deadline = time.monotonic() + _TERM_GRACE_S
-            while time.monotonic() < deadline and any(
+            deadline = self._clock() + _TERM_GRACE_S
+            while self._clock() < deadline and any(
                 slot.process is not None and slot.process.is_alive()
                 for slot in slots
             ):
@@ -483,7 +509,7 @@ class FabricExecutor:
             if name == "job.attempt":
                 if slot is not None:
                     slot.active = (
-                        tuple(args["key"]), args["attempt"], time.monotonic()
+                        tuple(args["key"]), args["attempt"], self._clock()
                     )
                 self._emit(name, args)
             elif name == "job.result":
@@ -522,6 +548,7 @@ class FabricExecutor:
                     self.stats.worker_busy_s.get(worker_id, 0.0)
                     + args.get("busy_s", 0.0)
                 )
+                self.stats.events_dropped += args.get("events_dropped", 0)
                 self._emit(name, args)
             else:
                 self._emit(name, args)
@@ -535,7 +562,7 @@ class FabricExecutor:
               events) -> bool:
         """Detect dead/overdue workers, settle their leases, respawn."""
         healed = False
-        now = time.monotonic()
+        now = self._clock()
         for slot in slots:
             process = slot.process
             if process is None:

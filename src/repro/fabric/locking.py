@@ -14,6 +14,7 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
+from typing import Callable
 
 from repro.errors import LockTimeoutError
 
@@ -36,17 +37,25 @@ class FileLock:
     Re-entrant within a process is *not* supported — the fabric's
     critical sections never nest. ``timeout_s`` bounds acquisition; a
     held lock past the deadline raises :class:`LockTimeoutError` rather
-    than deadlocking the fleet.
+    than deadlocking the fleet. ``clock`` injects the timeout clock so
+    expiry paths are testable without sleeping (RL011).
     """
 
-    def __init__(self, path, *, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        path,
+        *,
+        timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.path = Path(str(path) + ".lock")
         self.timeout_s = timeout_s
+        self._clock = clock
         self._fd: int | None = None
         self._excl = False
 
     def acquire(self) -> "FileLock":
-        deadline = time.monotonic() + self.timeout_s
+        deadline = self._clock() + self.timeout_s
         if fcntl is not None:
             fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
             while True:
@@ -55,7 +64,7 @@ class FileLock:
                     self._fd = fd
                     return self
                 except OSError:
-                    if time.monotonic() >= deadline:
+                    if self._clock() >= deadline:
                         os.close(fd)
                         raise LockTimeoutError(
                             f"{self.path}: lock not acquired within "
@@ -69,24 +78,36 @@ class FileLock:
         while True:
             try:
                 fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                os.write(fd, str(os.getpid()).encode("ascii"))
-                self._fd = fd
-                self._excl = True
-                return self
             except FileExistsError:
                 try:
+                    # The lockfile carries no fcntl state, so its mtime —
+                    # host wall time by definition — is the only staleness
+                    # signal available.
                     age = time.time() - self.path.stat().st_mtime
                     if age > _STALE_LOCKFILE_S:
                         self.path.unlink(missing_ok=True)
                         continue
                 except OSError:
                     pass  # raced with the holder's release; retry
-                if time.monotonic() >= deadline:
+                if self._clock() >= deadline:
                     raise LockTimeoutError(
                         f"{self.path}: lock not acquired within "
                         f"{self.timeout_s:.3g}s"
                     ) from None
                 time.sleep(_POLL_S)
+                continue
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            except OSError:
+                # Leave nothing behind: an orphaned fd plus an empty
+                # lockfile would wedge every other worker for
+                # _STALE_LOCKFILE_S.
+                os.close(fd)
+                self.path.unlink(missing_ok=True)
+                raise
+            self._fd = fd
+            self._excl = True
+            return self
 
     def release(self) -> None:
         if self._fd is None:

@@ -114,6 +114,9 @@ class FabricServer:
         self._stopping = threading.Event()
         self._listener = None
         self._threads: List[threading.Thread] = []
+        #: Sweeps the scheduler settled as failed; exposed via ping so a
+        #: swallowed scheduler exception is visible from any client.
+        self.sweeps_failed = 0
 
     def _log(self, message: str) -> None:
         if self.on_log is not None:
@@ -207,6 +210,7 @@ class FabricServer:
                 with state.lock:
                     state.state = "failed"
                     state.error = f"{type(exc).__name__}: {exc}"
+                self.sweeps_failed += 1
                 self._log(f"{sweep_id} failed: {state.error}")
                 self._log(traceback.format_exc())
             state.publish(
@@ -335,7 +339,8 @@ class FabricServer:
         if op == protocol.OP_PING:
             channel.send(
                 {"ok": True, "version": protocol.PROTOCOL_VERSION,
-                 "sweeps": len(self._order)}
+                 "sweeps": len(self._order),
+                 "sweeps_failed": self.sweeps_failed}
             )
         elif op == protocol.OP_SUBMIT:
             spec = SweepSpec.from_json_dict(request.get("spec") or {})

@@ -42,6 +42,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.fabric.locking import FileLock
 from repro.resilience.journal import JOURNAL_VERSION, JournalContents, ResultJournal
+from repro.utils.persist import atomic_write_text
 
 Key = Tuple[str, str]  # (workload, scheme value)
 
@@ -77,13 +78,11 @@ class SharedJournal:
     def start(self, meta: dict) -> None:
         """Begin a fresh journal (truncates any existing file)."""
         with self.lock:
-            tmp = self.path.with_name(self.path.name + ".tmp")
-            tmp.write_text(
+            atomic_write_text(
+                self.path,
                 json.dumps({"type": "meta", "version": JOURNAL_VERSION, **meta})
                 + "\n",
-                encoding="utf-8",
             )
-            os.replace(tmp, self.path)
 
     def _append_locked(self, record: dict) -> None:
         """Append one record; caller must hold the lock."""

@@ -5,10 +5,14 @@ general-purpose linter knows about: simulation-path code must never read
 the wall clock, randomness must flow from injected seeded generators,
 time units must not silently mix (Table I retention seconds vs. device
 nanoseconds vs. core cycles), and event handlers must respect the
-engine's scheduling discipline. ``repro.lint`` walks the package's ASTs
-with a set of pluggable :class:`~repro.lint.base.Checker` passes and
-reports violations as structured :class:`~repro.lint.finding.Finding`
-records.
+engine's scheduling discipline. The orchestration path (``resilience``,
+``fabric``, ``obs``) has its own invariants: shared-file mutation only
+under a lock, atomic persistence, fork/thread separation, and loud
+failure. ``repro.lint`` walks the package's ASTs with a set of pluggable
+:class:`~repro.lint.base.Checker` passes — the concurrency rules share a
+per-module call graph with lock-context dataflow
+(:mod:`repro.lint.callgraph`) — and reports violations as structured
+:class:`~repro.lint.finding.Finding` records.
 
 Rules shipped:
 
@@ -23,7 +27,23 @@ RL005     metrics-coverage        counters invisible to the telemetry
                                   registry (no ``register_metrics``)
 RL006     event-discipline        negative/absolute-literal scheduling,
                                   clock mutation outside the engine
+RL007     lock-discipline         raw shared-file writes / ``*_locked``
+                                  helpers outside any lock scope
+RL008     atomic-persistence      durable artifacts written without
+                                  tmp-file + ``os.replace``
+RL009     fork-thread-safety      threads mixed with worker forks;
+                                  lock-taking daemon threads
+RL010     exception-safe-lock     ``.acquire()`` without a guaranteed
+                                  ``release`` (no with/try-finally)
+RL011     wallclock-lease-logic   lease/retry/timeout decisions on a
+                                  direct wall-clock read (no injected
+                                  clock)
+RL012     silent-swallow          broad ``except`` that leaves no
+                                  evidence (no log/record/counter)
 ========  ======================  =====================================
+
+RL001–RL006 guard the simulation path (``SIM_PATH_PACKAGES``);
+RL007–RL012 guard the orchestration path (``ORCH_PATH_PACKAGES``).
 
 Suppression is explicit and reviewable: inline ``# repro-lint:
 disable=RL00x`` pragmas next to the code they excuse, or entries in
@@ -37,10 +57,13 @@ from repro.lint.api import (
     LintReport,
     iter_python_files,
     lint_source,
+    parse_rule_selection,
     run_lint,
+    select_checkers,
 )
 from repro.lint.base import Checker, all_checkers, checker_classes, register
 from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.callgraph import ModuleCallGraph
 from repro.lint.finding import SEVERITIES, Finding
 from repro.lint.reporters import render_json, render_text
 
@@ -50,13 +73,16 @@ __all__ = [
     "Checker",
     "Finding",
     "LintReport",
+    "ModuleCallGraph",
     "SEVERITIES",
     "all_checkers",
     "checker_classes",
     "iter_python_files",
     "lint_source",
+    "parse_rule_selection",
     "register",
     "render_json",
     "render_text",
     "run_lint",
+    "select_checkers",
 ]

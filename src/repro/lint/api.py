@@ -9,8 +9,9 @@ string — the unit-test surface for individual rules.
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.errors import ConfigError
 from repro.lint.base import Checker, all_checkers
@@ -24,6 +25,77 @@ from repro.lint.finding import Finding
 DEFAULT_ROOTS = ("src/repro",)
 
 
+_RULE_ID_RE = re.compile(r"^RL(\d{3})$")
+
+
+def parse_rule_selection(spec: str) -> Set[str]:
+    """Expand a ``--select``/``--ignore`` spec into a set of rule ids.
+
+    Grammar: comma-separated tokens, each either a rule id (``RL007``)
+    or an inclusive range (``RL007-RL012``). Case-insensitive.
+
+    Raises:
+        ConfigError: empty spec, malformed token, or inverted range.
+    """
+    rules: Set[str] = set()
+    for token in spec.split(","):
+        token = token.strip().upper()
+        if not token:
+            continue
+        if "-" in token:
+            low_s, _, high_s = token.partition("-")
+            low_m = _RULE_ID_RE.match(low_s.strip())
+            high_m = _RULE_ID_RE.match(high_s.strip())
+            if low_m is None or high_m is None:
+                raise ConfigError(
+                    f"bad rule range {token!r}: expected RLnnn-RLnnn"
+                )
+            low, high = int(low_m.group(1)), int(high_m.group(1))
+            if low > high:
+                raise ConfigError(f"inverted rule range {token!r}")
+            rules.update(f"RL{n:03d}" for n in range(low, high + 1))
+        else:
+            if _RULE_ID_RE.match(token) is None:
+                raise ConfigError(
+                    f"bad rule id {token!r}: expected RLnnn (e.g. RL007)"
+                )
+            rules.add(token)
+    if not rules:
+        raise ConfigError("empty rule selection")
+    return rules
+
+
+def select_checkers(
+    checkers: Sequence[Checker],
+    select: Optional[str] = None,
+    ignore: Optional[str] = None,
+) -> List[Checker]:
+    """Filter *checkers* by ``--select``/``--ignore`` specs.
+
+    ``select`` keeps only the listed rules (every listed id must be
+    registered); ``ignore`` then drops its rules (unknown ignored ids
+    are an error too — they are typos, not wishes).
+    """
+    active = list(checkers)
+    known = {c.rule_id for c in active}
+    for spec, label in ((select, "--select"), (ignore, "--ignore")):
+        if spec is None:
+            continue
+        wanted = parse_rule_selection(spec)
+        unknown = sorted(r for r in wanted if r not in known)
+        if unknown:
+            raise ConfigError(
+                f"{label} names unregistered rule(s): {', '.join(unknown)}"
+            )
+    if select is not None:
+        keep = parse_rule_selection(select)
+        active = [c for c in active if c.rule_id in keep]
+    if ignore is not None:
+        drop = parse_rule_selection(ignore)
+        active = [c for c in active if c.rule_id not in drop]
+    return active
+
+
 @dataclass
 class LintReport:
     """Outcome of one lint run."""
@@ -33,6 +105,8 @@ class LintReport:
     files_scanned: int = 0
     baseline_path: Optional[str] = None
     baseline_updated: bool = False
+    #: Rule ids that were active for this run (after select/ignore).
+    rules_active: List[str] = field(default_factory=list)
 
     @property
     def error_count(self) -> int:
@@ -128,6 +202,8 @@ def run_lint(
     checkers: Optional[Sequence[Checker]] = None,
     baseline: Optional[str] = None,
     update_baseline: bool = False,
+    select: Optional[str] = None,
+    ignore: Optional[str] = None,
 ) -> LintReport:
     """Lint *paths* (default: ``src/repro``) and apply the baseline.
 
@@ -142,10 +218,14 @@ def run_lint(
         update_baseline: Rewrite the baseline to cover all current
             findings (preserving existing justifications), then report
             zero new findings.
+        select: ``--select`` spec: only run these rules
+            (``"RL007,RL010"`` or ``"RL007-RL012"``).
+        ignore: ``--ignore`` spec: run everything but these rules.
 
     Raises:
-        ConfigError: A path does not exist or the baseline is malformed
-            (the CLI maps this to exit code 2).
+        ConfigError: A path does not exist, the baseline is malformed,
+            or select/ignore names an unregistered rule (the CLI maps
+            this to exit code 2).
     """
     roots = list(paths) if paths else [p for p in DEFAULT_ROOTS if os.path.isdir(p)]
     if not roots:
@@ -155,6 +235,7 @@ def run_lint(
     files = iter_python_files(roots)
 
     active = list(checkers) if checkers is not None else all_checkers()
+    active = select_checkers(active, select=select, ignore=ignore)
     findings: List[Finding] = []
     for filepath in files:
         relpath = os.path.relpath(filepath).replace(os.sep, "/")
@@ -176,7 +257,11 @@ def run_lint(
     if baseline_path is None and os.path.isfile(DEFAULT_BASELINE_NAME):
         baseline_path = DEFAULT_BASELINE_NAME
 
-    report = LintReport(files_scanned=len(files), baseline_path=baseline_path)
+    report = LintReport(
+        files_scanned=len(files),
+        baseline_path=baseline_path,
+        rules_active=sorted(c.rule_id for c in active),
+    )
     previous = (
         Baseline.load(baseline_path)
         if baseline_path and os.path.isfile(baseline_path)

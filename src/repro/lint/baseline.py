@@ -118,6 +118,18 @@ class Baseline:
             handle.write("\n")
 
     # ------------------------------------------------------------------
+    def unjustified(self) -> List[BaselineEntry]:
+        """Entries with no real justification (empty or the
+        ``--update-baseline`` placeholder). CI fails when non-empty:
+        a baseline entry is a reviewed decision, not a mute button."""
+        return [
+            entry
+            for entry in self.entries
+            if not entry.justification.strip()
+            or entry.justification.startswith("TODO")
+        ]
+
+    # ------------------------------------------------------------------
     def partition(
         self, findings: List[Finding]
     ) -> Tuple[List[Finding], List[Finding]]:

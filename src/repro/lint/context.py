@@ -32,6 +32,13 @@ SIM_PATH_PACKAGES = frozenset(
     {"engine", "pcm", "memctrl", "cache", "core", "cpu", "sim", "attribution"}
 )
 
+#: ``repro`` sub-packages that form the orchestration path: code here
+#: runs across processes and threads (work-stealing fabric, checkpoint
+#: journals, run ledgers) and must uphold lock discipline, atomic
+#: persistence, and loud failure — the concurrency/durability rules
+#: RL007–RL012 target exactly these layers.
+ORCH_PATH_PACKAGES = frozenset({"resilience", "fabric", "obs"})
+
 _PRAGMA_RE = re.compile(
     r"#\s*repro-lint\s*:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
 )
@@ -94,6 +101,10 @@ class LintModule:
     @property
     def in_sim_path(self) -> bool:
         return self.package in SIM_PATH_PACKAGES
+
+    @property
+    def in_orch_path(self) -> bool:
+        return self.package in ORCH_PATH_PACKAGES
 
     # ------------------------------------------------------------------
     def line_text(self, lineno: int) -> str:

@@ -21,7 +21,7 @@ class Finding:
     """One rule violation at one source location.
 
     Attributes:
-        rule: Rule identifier (``RL001`` ... ``RL006``; ``RL000`` is
+        rule: Rule identifier (``RL001`` ... ``RL012``; ``RL000`` is
             reserved for files the analyzer itself could not parse).
         severity: ``"error"`` or ``"warning"``. Errors always fail the
             lint run; warnings only fail it under ``--strict``.

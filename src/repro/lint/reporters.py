@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Dict, List
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.api import LintReport
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 def render_text(report: "LintReport", *, verbose_baseline: bool = False) -> str:
@@ -40,6 +40,7 @@ def render_json(report: "LintReport") -> str:
         "version": REPORT_VERSION,
         "tool": "repro-lint",
         "files_scanned": report.files_scanned,
+        "rules_active": list(report.rules_active),
         "counts": {
             "errors": report.error_count,
             "warnings": report.warning_count,

@@ -31,6 +31,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.runner import run_workload
 from repro.sim.schemes import Scheme
 from repro.telemetry import TelemetryConfig
+from repro.utils.persist import save_json
 
 BENCH_SCHEMA = 1
 SUITE_NAME = "core"
@@ -157,5 +158,5 @@ def write_bench_json(path, entries: List[LedgerEntry]) -> Path:
             for entry in entries
         ],
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    save_json(path, payload)
     return path

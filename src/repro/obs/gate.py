@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.obs.ledger import LedgerEntry
+from repro.utils.persist import save_json
 
 Samples = Dict[str, Dict[str, List[float]]]  # name -> metric -> values
 
@@ -444,7 +445,7 @@ def write_baseline(
             for name, metrics in samples.items()
         },
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    save_json(path, payload)
     return path
 
 

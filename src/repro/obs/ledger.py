@@ -20,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import platform
 import subprocess
 import time
@@ -29,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.errors import LedgerCorruptError
+from repro.utils.persist import atomic_write_text
 
 LEDGER_SCHEMA = 1
 
@@ -214,12 +214,9 @@ class RunLedger:
             existing = self.path.read_text(encoding="utf-8")
             if existing and not existing.endswith("\n"):
                 existing += "\n"
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(
-            existing + json.dumps(entry.to_json_dict()) + "\n",
-            encoding="utf-8",
+        atomic_write_text(
+            self.path, existing + json.dumps(entry.to_json_dict()) + "\n"
         )
-        os.replace(tmp, self.path)
         self.entries_appended += 1
         return entry
 

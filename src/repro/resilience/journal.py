@@ -26,7 +26,10 @@ settled ones::
     {"type": "claim", "workload": w, "scheme": s, "worker": id,
      "attempt": n, "expires_unix_s": t}
     {"type": "release", "workload": w, "scheme": s, "worker": id,
-     "reason": "retry" | "worker-died" | "timeout"}
+     "reason": "retry:<ErrorType>" | "crash" | "timeout"}
+
+``reason`` is free-form evidence for post-mortems (retry releases carry
+the exception type that caused them); nothing dispatches on it.
 
 Claims and releases are advisory scheduling state, not results: the
 loader collects them (so the fabric can reconstruct the queue) and
@@ -38,13 +41,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import CheckpointCorruptError
 from repro.telemetry.trace import NULL_TRACER
+from repro.utils.persist import atomic_write_text
 
 JOURNAL_VERSION = 1
 
@@ -158,9 +161,7 @@ class ResultJournal:
 
     def _flush(self) -> None:
         """Atomically persist the whole journal (tmp file + ``os.replace``)."""
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text("\n".join(self._lines) + "\n", encoding="utf-8")
-        os.replace(tmp, self.path)
+        atomic_write_text(self.path, "\n".join(self._lines) + "\n")
 
     # ------------------------------------------------------------------
     # Reading

@@ -23,6 +23,7 @@ Execution modes:
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
 import traceback
 from collections import deque
@@ -118,8 +119,15 @@ def _worker_main(conn, fn, args, fault: Optional[str]) -> None:
             conn.send(
                 ("error", (type(exc).__name__, f"{exc}", traceback.format_exc()))
             )
-        except Exception:
-            pass
+        except Exception as send_exc:  # noqa: BLE001 - pipe already broken
+            # The supervisor will settle this attempt as a crash; leave
+            # the real error on stderr so the post-mortem has it.
+            print(
+                f"resilience worker: result pipe broken "
+                f"({type(send_exc).__name__}); original failure: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
     finally:
         try:
             conn.close()
@@ -159,6 +167,9 @@ class JobSupervisor:
         validate: optional ``(key, value) -> Optional[str]``; a returned
             message marks the result corrupt (runs supervisor-side).
         sleep: injection point for tests; must accept seconds.
+        clock: monotonic clock used for backoff gates, deadlines, and
+            elapsed-time accounting; injectable so timeout/retry paths
+            are testable without sleeping (RL011).
         on_event: optional ``(name, args) -> None`` observability hook
             fired on every lifecycle transition — ``job.attempt``,
             ``job.result``, ``job.retry``, ``job.failed`` — with a dict
@@ -177,6 +188,7 @@ class JobSupervisor:
         seed: int = 0,
         validate: Optional[Callable[[Tuple, object], Optional[str]]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
         on_event: Optional[Callable[[str, dict], None]] = None,
     ) -> None:
         if n_workers < 1:
@@ -190,6 +202,7 @@ class JobSupervisor:
         self.seed = seed
         self.validate = validate
         self._sleep = sleep
+        self._clock = clock
         self.on_event = on_event
         self.retries_scheduled: List[Tuple[Tuple, int, float]] = []
 
@@ -234,7 +247,7 @@ class JobSupervisor:
         results: Dict[Tuple, object] = {}
         failures: Dict[Tuple, FailedRun] = {}
         for job in jobs:
-            started = time.monotonic()
+            started = self._clock()
             attempt = 0
             while True:
                 attempt += 1
@@ -273,7 +286,7 @@ class JobSupervisor:
                         kind=kind,
                         message=f"{error_type}: {exc}",
                         attempts=attempt,
-                        elapsed_s=time.monotonic() - started,
+                        elapsed_s=self._clock() - started,
                     )
                     failures[job.key] = failed
                     self._emit("job.failed", **failed.as_dict())
@@ -312,7 +325,7 @@ class JobSupervisor:
                     _Attempt(
                         job=entry.job,
                         attempt=entry.attempt + 1,
-                        not_before=time.monotonic() + delay,
+                        not_before=self._clock() + delay,
                         first_started=entry.first_started,
                     )
                 )
@@ -322,7 +335,7 @@ class JobSupervisor:
                 kind=kind,
                 message=message,
                 attempts=entry.attempt,
-                elapsed_s=time.monotonic() - (entry.first_started or 0.0),
+                elapsed_s=self._clock() - (entry.first_started or 0.0),
             )
             failures[entry.job.key] = failed
             self._emit("job.failed", **failed.as_dict())
@@ -331,7 +344,7 @@ class JobSupervisor:
 
         try:
             while pending or running:
-                now = time.monotonic()
+                now = self._clock()
                 # Launch into free slots, honouring backoff gates.
                 launched = True
                 while launched and len(running) < self.n_workers and pending:

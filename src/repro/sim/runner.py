@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import json
 import math
-import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -34,6 +33,7 @@ from repro.sim.metrics import SimResult
 from repro.sim.schemes import Scheme, all_schemes
 from repro.sim.system import System
 from repro.telemetry import TelemetryConfig
+from repro.utils.persist import atomic_write_text
 from repro.telemetry.trace import NULL_TRACER
 from repro.utils.mathx import geomean
 from repro.workloads.mixes import all_workload_names
@@ -476,6 +476,4 @@ class ExperimentRunner:
             for (workload, scheme), failed in self.failures.items()
         )
         path = Path(path)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(records, indent=2), encoding="utf-8")
-        os.replace(tmp, path)
+        atomic_write_text(path, json.dumps(records, indent=2))

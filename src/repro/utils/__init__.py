@@ -1,5 +1,6 @@
-"""Shared helpers: unit conversion, math utilities, identifier parsing."""
+"""Shared helpers: unit conversion, math utilities, atomic persistence."""
 
+from repro.utils.persist import atomic_write_text, save_json
 from repro.utils.units import (
     NS_PER_S,
     S_PER_YEAR,
@@ -20,6 +21,8 @@ from repro.utils.mathx import (
 __all__ = [
     "NS_PER_S",
     "S_PER_YEAR",
+    "atomic_write_text",
+    "save_json",
     "format_bytes",
     "format_seconds",
     "ns_to_s",

@@ -29,7 +29,6 @@ from repro.attribution import (
     classify_request,
     format_report,
 )
-from repro.attribution.report import AttributionReport
 from repro.cli import main
 from repro.errors import ConfigError
 from repro.memctrl.request import MemRequest, RequestType

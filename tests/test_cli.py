@@ -302,6 +302,39 @@ class TestLintCommand:
         assert payload["counts"]["errors"] == 1
         assert payload["findings"][0]["rule"] == "RL001"
 
+    def test_lint_select_scopes_rules(self, capsys, tmp_path):
+        # The RL001 finding vanishes when only the concurrency rules run.
+        target = self._dirty_file(tmp_path)
+        assert main(["lint", str(target), "--select", "RL007-RL012"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(target), "--select", "RL001"]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_lint_ignore_drops_rule(self, capsys, tmp_path):
+        target = self._dirty_file(tmp_path)
+        assert main(["lint", str(target), "--ignore", "RL001"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_select_json_reports_active_rules(self, capsys, tmp_path):
+        target = self._dirty_file(tmp_path)
+        code = main(
+            ["lint", str(target), "--select", "RL007-RL012",
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules_active"] == [
+            "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+        ]
+
+    def test_lint_unknown_rule_exit_2(self, capsys, tmp_path):
+        target = self._dirty_file(tmp_path)
+        assert main(["lint", str(target), "--select", "RL099"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["lint", str(target), "--ignore", "bogus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_lint_update_baseline_round_trip(self, capsys, tmp_path):
         target = self._dirty_file(tmp_path)
         baseline = tmp_path / "baseline.json"

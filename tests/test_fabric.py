@@ -110,6 +110,20 @@ class TestFileLock:
         with lock:
             pass  # no deadlock, no stale state
 
+    def test_injected_clock_drives_timeout(self, tmp_path):
+        # With a fake clock the deadline expires on the second reading —
+        # no real waiting, which is the whole point of injecting it.
+        target = tmp_path / "t"
+        held = FileLock(target, timeout_s=5.0).acquire()
+        ticks = iter([0.0, 100.0, 200.0])
+        try:
+            with pytest.raises(LockTimeoutError):
+                FileLock(
+                    target, timeout_s=5.0, clock=lambda: next(ticks)
+                ).acquire()
+        finally:
+            held.release()
+
 
 # ----------------------------------------------------------------------
 # SharedJournal
@@ -335,6 +349,10 @@ class TestFabricExecutor:
         assert stats.jobs_failed == 0
         assert stats.wall_s > 0
         assert 0.0 < stats.utilization <= 1.0
+        # A healthy run drops no worker events, and the counter is part
+        # of the stats surface so a sick event channel is visible.
+        assert stats.events_dropped == 0
+        assert stats.as_dict()["events_dropped"] == 0
 
     def test_crash_injection_recovers(self, tmp_path):
         plan = FaultPlan.parse(["crash:0:1"])

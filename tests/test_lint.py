@@ -19,15 +19,29 @@ from repro.lint import (
     lint_source,
     run_lint,
 )
-from repro.lint.api import LintReport, iter_python_files
-from repro.lint.context import SIM_PATH_PACKAGES, LintModule, parse_pragmas
+from repro.lint.api import (
+    LintReport,
+    iter_python_files,
+    parse_rule_selection,
+    select_checkers,
+)
+from repro.lint.callgraph import ModuleCallGraph, is_lock_expr
+from repro.lint.context import (
+    ORCH_PATH_PACKAGES,
+    SIM_PATH_PACKAGES,
+    LintModule,
+    parse_pragmas,
+)
 from repro.lint.finding import Finding
 from repro.lint.reporters import render_json, render_text
+from repro.lint.resolve import ImportMap
 
 #: A path inside a sim-path package: every rule is active there.
 SIM_PATH = "src/repro/engine/example.py"
 #: A path outside the sim path: only the package-agnostic rules apply.
 NON_SIM_PATH = "src/repro/analysis/example.py"
+#: A path inside an orchestration package: RL007-RL012 are active there.
+ORCH_PATH = "src/repro/fabric/example.py"
 
 
 def lint(source, relpath=SIM_PATH):
@@ -42,9 +56,12 @@ def rules_of(findings):
 # Registry / plumbing
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_twelve_rules_registered(self):
         ids = [c.rule_id for c in all_checkers()]
-        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        assert ids == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+        ]
 
     def test_rule_ids_unique(self):
         ids = [c.rule_id for c in checker_classes()]
@@ -63,6 +80,15 @@ class TestRegistry:
             "engine", "pcm", "memctrl", "cache", "core", "cpu", "sim",
             "attribution",
         }
+
+    def test_orch_path_packages_match_issue_contract(self):
+        assert ORCH_PATH_PACKAGES == {"resilience", "fabric", "obs"}
+        assert not (ORCH_PATH_PACKAGES & SIM_PATH_PACKAGES)
+
+    def test_orch_path_detection(self):
+        module = LintModule("x = 1\n", ORCH_PATH)
+        assert module.package == "fabric"
+        assert module.in_orch_path and not module.in_sim_path
 
 
 # ----------------------------------------------------------------------
@@ -523,6 +549,681 @@ class TestRL006:
 
 
 # ----------------------------------------------------------------------
+# Call graph / lock-context dataflow (shared by RL007-RL012)
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    @staticmethod
+    def _graph(source):
+        module = LintModule(textwrap.dedent(source), ORCH_PATH)
+        return ModuleCallGraph(module.tree)
+
+    def test_function_table_qualnames(self):
+        graph = self._graph(
+            """
+            def helper():
+                pass
+
+            class Journal:
+                def append(self):
+                    helper()
+                    self._append_locked()
+
+                def _append_locked(self):
+                    pass
+            """
+        )
+        assert set(graph.functions) == {
+            "helper", "Journal.append", "Journal._append_locked"
+        }
+
+    def test_locked_suffix_seeds_holds_lock(self):
+        graph = self._graph(
+            """
+            class J:
+                def _append_locked(self):
+                    pass
+            """
+        )
+        assert graph.function("J._append_locked").holds_lock_on_entry
+
+    def test_fixpoint_propagates_through_locked_call_sites(self):
+        graph = self._graph(
+            """
+            class J:
+                def append(self, rec):
+                    with self.lock:
+                        self._write(rec)
+
+                def _write(self, rec):
+                    pass
+            """
+        )
+        assert graph.function("J._write").holds_lock_on_entry
+
+    def test_one_unlocked_call_site_breaks_the_proof(self):
+        graph = self._graph(
+            """
+            class J:
+                def append(self, rec):
+                    with self.lock:
+                        self._write(rec)
+
+                def sneak(self, rec):
+                    self._write(rec)
+
+                def _write(self, rec):
+                    pass
+            """
+        )
+        assert not graph.function("J._write").holds_lock_on_entry
+
+    def test_transitive_callees(self):
+        graph = self._graph(
+            """
+            class S:
+                def a(self):
+                    self.b()
+
+                def b(self):
+                    self.c()
+
+                def c(self):
+                    with self._lock:
+                        pass
+            """
+        )
+        names = {f.qualname for f in graph.transitive_callees("S.a")}
+        assert names == {"S.a", "S.b", "S.c"}
+        assert graph.function("S.c").takes_lock
+
+    def test_is_lock_expr_shapes(self):
+        import ast as ast_module
+
+        def expr(src):
+            tree = ast_module.parse(textwrap.dedent(src))
+            imports = ImportMap(tree)
+            node = tree.body[-1].value
+            return is_lock_expr(node, imports)
+
+        assert expr("import threading\nthreading.Lock()")
+        assert expr("self_lock = 1\nx._lock")
+        assert expr("from repro.fabric.locking import FileLock\nFileLock('j')")
+        assert not expr("import threading\nthreading.Event()")
+        assert not expr("x.journal")
+
+
+# ----------------------------------------------------------------------
+# RL007 lock-discipline
+# ----------------------------------------------------------------------
+class TestRL007:
+    def test_flags_raw_os_write_outside_lock(self):
+        findings = lint(
+            """
+            import os
+
+            def append(fd, line):
+                os.write(fd, line)
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL007" in rules_of(findings)
+
+    def test_flags_locked_helper_called_without_lock(self):
+        findings = lint(
+            """
+            class J:
+                def sneak(self, rec):
+                    self._append_locked(rec)
+
+                def _append_locked(self, rec):
+                    pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL007" in rules_of(findings)
+
+    def test_clean_inside_with_lock(self):
+        findings = lint(
+            """
+            import os
+
+            class J:
+                def append(self, fd, rec):
+                    with self.lock:
+                        os.write(fd, rec)
+                        self._append_locked(rec)
+
+                def _append_locked(self, rec):
+                    pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL007" not in rules_of(findings)
+
+    def test_clean_inside_locked_helper_body(self):
+        findings = lint(
+            """
+            import os
+
+            class J:
+                def append(self, rec):
+                    with self.lock:
+                        self._append_locked(rec)
+
+                def _append_locked(self, rec):
+                    os.write(self.fd, rec)
+                    self.fh.truncate(10)
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL007" not in rules_of(findings)
+
+    def test_flags_truncate_outside_lock(self):
+        findings = lint(
+            """
+            def repair(fh):
+                fh.truncate(0)
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL007" in rules_of(findings)
+
+    def test_inactive_outside_orch_path(self):
+        findings = lint(
+            """
+            import os
+
+            def append(fd, line):
+                os.write(fd, line)
+            """,
+            relpath=NON_SIM_PATH,
+        )
+        assert "RL007" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL008 atomic-persistence
+# ----------------------------------------------------------------------
+class TestRL008:
+    def test_flags_bare_write_text(self):
+        findings = lint(
+            """
+            def pin(path, payload):
+                path.write_text(payload)
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL008" in rules_of(findings)
+
+    def test_flags_open_for_write_and_json_dump(self):
+        findings = lint(
+            """
+            import json
+
+            def dump(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert sum(1 for f in findings if f.rule == "RL008") == 2
+
+    def test_clean_tmp_plus_os_replace(self):
+        findings = lint(
+            """
+            import os
+
+            def pin(path, tmp, payload):
+                tmp.write_text(payload)
+                os.replace(tmp, path)
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL008" not in rules_of(findings)
+
+    def test_clean_atomic_helper_call(self):
+        findings = lint(
+            """
+            import json
+            from repro.utils.persist import save_json
+
+            def pin(path, payload):
+                save_json(path, payload)
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL008" not in rules_of(findings)
+
+    def test_clean_read_modes(self):
+        findings = lint(
+            """
+            def load(path):
+                with open(path, "r+b") as fh:
+                    return fh.read()
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL008" not in rules_of(findings)
+
+    def test_inactive_outside_orch_path(self):
+        findings = lint(
+            """
+            def pin(path, payload):
+                path.write_text(payload)
+            """,
+            relpath=NON_SIM_PATH,
+        )
+        assert "RL008" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL009 fork-thread-safety
+# ----------------------------------------------------------------------
+class TestRL009:
+    def test_flags_thread_in_forking_module(self):
+        findings = lint(
+            """
+            import threading
+            import multiprocessing
+
+            def run(work):
+                t = threading.Thread(target=work)
+                ctx = multiprocessing.get_context()
+                p = ctx.Process(target=work)
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert any(
+            f.rule == "RL009" and f.severity == "error" for f in findings
+        )
+
+    def test_warns_lock_taking_daemon_target(self):
+        findings = lint(
+            """
+            import threading
+
+            class Server:
+                def start(self):
+                    t = threading.Thread(target=self._serve, daemon=True)
+                    t.start()
+
+                def _serve(self):
+                    with self._lock:
+                        pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert any(
+            f.rule == "RL009" and f.severity == "warning" for f in findings
+        )
+
+    def test_warns_transitively_lock_taking_target(self):
+        findings = lint(
+            """
+            import threading
+
+            class Server:
+                def start(self):
+                    t = threading.Thread(target=self._serve, daemon=True)
+
+                def _serve(self):
+                    self._handle()
+
+                def _handle(self):
+                    with self._lock:
+                        pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL009" in rules_of(findings)
+
+    def test_clean_lock_free_daemon_and_non_daemon(self):
+        findings = lint(
+            """
+            import threading
+
+            class Server:
+                def start(self, work):
+                    a = threading.Thread(target=self._pump, daemon=True)
+                    b = threading.Thread(target=work)
+
+                def _pump(self):
+                    return 1
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL009" not in rules_of(findings)
+
+    def test_inactive_outside_orch_path(self):
+        findings = lint(
+            """
+            import threading
+            import multiprocessing
+
+            def run(work):
+                t = threading.Thread(target=work)
+                p = multiprocessing.Process(target=work)
+            """,
+            relpath=NON_SIM_PATH,
+        )
+        assert "RL009" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL010 exception-safe-lock
+# ----------------------------------------------------------------------
+class TestRL010:
+    def test_flags_bare_acquire(self):
+        findings = lint(
+            """
+            def critical(lock):
+                lock.acquire()
+                return 1
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL010" in rules_of(findings)
+
+    def test_clean_acquire_then_try_finally(self):
+        findings = lint(
+            """
+            def critical(lock):
+                lock.acquire()
+                try:
+                    return 1
+                finally:
+                    lock.release()
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL010" not in rules_of(findings)
+
+    def test_clean_acquire_inside_try_with_finally_release(self):
+        findings = lint(
+            """
+            def critical(lock):
+                try:
+                    lock.acquire()
+                    return 1
+                finally:
+                    lock.release()
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL010" not in rules_of(findings)
+
+    def test_clean_with_statement_and_wrapper_methods(self):
+        findings = lint(
+            """
+            class FileLock:
+                def __enter__(self):
+                    return self.acquire()
+
+                def acquire(self):
+                    self._inner_lock.acquire()
+                    return self
+
+            def use(lock):
+                with lock:
+                    return 1
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL010" not in rules_of(findings)
+
+    def test_non_lock_receivers_ignored(self):
+        findings = lint(
+            """
+            def run(semantics):
+                semantics.acquire()
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL010" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL011 wallclock-lease-logic
+# ----------------------------------------------------------------------
+class TestRL011:
+    def test_flags_wallclock_deadline(self):
+        findings = lint(
+            """
+            import time
+
+            def wait(timeout_s):
+                deadline = time.monotonic() + timeout_s
+                while time.monotonic() < deadline:
+                    pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert sum(1 for f in findings if f.rule == "RL011") == 2
+
+    def test_flags_wallclock_lease_expiry(self):
+        findings = lint(
+            """
+            import time
+
+            def is_expired(lease):
+                return time.time() > lease.expires_unix_s
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL011" in rules_of(findings)
+
+    def test_clean_injected_clock(self):
+        findings = lint(
+            """
+            import time
+
+            def wait(timeout_s, clock=time.monotonic):
+                deadline = clock() + timeout_s
+                while clock() < deadline:
+                    pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL011" not in rules_of(findings)
+
+    def test_clean_measurement_in_lease_function(self):
+        findings = lint(
+            """
+            import time
+
+            def run(timeout_s):
+                started = time.monotonic()
+                elapsed_s = time.monotonic() - started
+                return elapsed_s
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL011" not in rules_of(findings)
+
+    def test_clean_no_lease_vocabulary(self):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL011" not in rules_of(findings)
+
+    def test_inactive_outside_orch_path(self):
+        findings = lint(
+            """
+            import time
+
+            def wait(timeout_s):
+                deadline = time.monotonic() + timeout_s
+            """,
+            relpath=NON_SIM_PATH,
+        )
+        assert "RL011" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# RL012 silent-swallow
+# ----------------------------------------------------------------------
+class TestRL012:
+    def test_flags_swallowing_pass(self):
+        findings = lint(
+            """
+            def pump(queue):
+                try:
+                    queue.get()
+                except Exception:
+                    pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL012" in rules_of(findings)
+
+    def test_flags_bare_except_continue(self):
+        findings = lint(
+            """
+            def serve(jobs):
+                for job in jobs:
+                    try:
+                        job()
+                    except:
+                        continue
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL012" in rules_of(findings)
+
+    def test_clean_logging_handler(self):
+        findings = lint(
+            """
+            def serve(self, job):
+                try:
+                    job()
+                except Exception as exc:
+                    self._log(f"failed: {exc}")
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL012" not in rules_of(findings)
+
+    def test_clean_counter_bump(self):
+        findings = lint(
+            """
+            def pump(self, queue):
+                try:
+                    queue.get()
+                except Exception:
+                    self.events_dropped += 1
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL012" not in rules_of(findings)
+
+    def test_clean_error_capture_and_raise(self):
+        findings = lint(
+            """
+            def settle(state, job):
+                try:
+                    job()
+                except Exception as exc:
+                    state.error = str(exc)
+                try:
+                    job()
+                except BaseException:
+                    raise
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL012" not in rules_of(findings)
+
+    def test_narrow_except_not_flagged(self):
+        findings = lint(
+            """
+            def load(path):
+                try:
+                    return path.read_text()
+                except OSError:
+                    pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL012" not in rules_of(findings)
+
+    def test_inactive_outside_orch_path(self):
+        findings = lint(
+            """
+            def pump(queue):
+                try:
+                    queue.get()
+                except Exception:
+                    pass
+            """,
+            relpath=NON_SIM_PATH,
+        )
+        assert "RL012" not in rules_of(findings)
+
+
+# ----------------------------------------------------------------------
+# Rule selection (--select / --ignore)
+# ----------------------------------------------------------------------
+class TestRuleSelection:
+    def test_parse_single_and_list(self):
+        assert parse_rule_selection("RL007") == {"RL007"}
+        assert parse_rule_selection("rl007, RL010") == {"RL007", "RL010"}
+
+    def test_parse_range(self):
+        assert parse_rule_selection("RL007-RL012") == {
+            "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+        }
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "RL7", "bugs", "RL010-RL007", "RL001-"):
+            with pytest.raises(ConfigError):
+                parse_rule_selection(bad)
+
+    def test_select_checkers_filters(self):
+        active = select_checkers(all_checkers(), select="RL007-RL012")
+        assert [c.rule_id for c in active] == [
+            "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+        ]
+
+    def test_ignore_drops_rules(self):
+        active = select_checkers(all_checkers(), ignore="RL005,RL006")
+        ids = {c.rule_id for c in active}
+        assert "RL005" not in ids and "RL006" not in ids
+        assert "RL001" in ids
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigError):
+            select_checkers(all_checkers(), select="RL099")
+        with pytest.raises(ConfigError):
+            select_checkers(all_checkers(), ignore="RL099")
+
+    def test_run_lint_select_scopes_findings(self, tmp_path, monkeypatch):
+        _make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        scoped = run_lint(["src/repro"], select="RL007-RL012")
+        assert scoped.clean
+        assert scoped.rules_active == [
+            "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+        ]
+        unscoped = run_lint(["src/repro"])
+        assert unscoped.error_count == 1
+        assert len(unscoped.rules_active) == 12
+
+    def test_rules_active_in_json_report(self, tmp_path, monkeypatch):
+        _make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        report = run_lint(["src/repro"], ignore="RL001")
+        payload = json.loads(render_json(report))
+        assert "RL001" not in payload["rules_active"]
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
 # Pragmas
 # ----------------------------------------------------------------------
 class TestPragmas:
@@ -594,6 +1295,31 @@ class TestPragmas:
             """
         )
         assert "RL006" not in rules_of(findings)
+
+    def test_disable_new_concurrency_rule(self):
+        findings = lint(
+            """
+            import os
+
+            def append(fd, line):
+                os.write(fd, line)  # repro-lint: disable=RL007
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL007" not in rules_of(findings)
+
+    def test_disable_swallow_rule_on_handler_line(self):
+        findings = lint(
+            """
+            def pump(queue):
+                try:
+                    queue.get()
+                except Exception:  # repro-lint: disable=RL012
+                    pass
+            """,
+            relpath=ORCH_PATH,
+        )
+        assert "RL012" not in rules_of(findings)
 
     def test_parse_pragmas_shapes(self):
         per_line, per_file = parse_pragmas(
@@ -693,6 +1419,25 @@ class TestBaseline:
         )
         rebuilt = Baseline.from_findings([finding], previous=previous)
         assert rebuilt.entries[0].justification == "carefully reviewed"
+
+    def test_unjustified_flags_blank_and_todo(self):
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(rule="RL001", path="a.py", context="x"),
+                BaselineEntry(
+                    rule="RL007", path="b.py", context="y",
+                    justification="TODO: explain",
+                ),
+                BaselineEntry(
+                    rule="RL012", path="c.py", context="z",
+                    justification="reviewed: close of a broken pipe",
+                ),
+            ]
+        )
+        flagged = baseline.unjustified()
+        assert [(e.rule, e.path) for e in flagged] == [
+            ("RL001", "a.py"), ("RL007", "b.py"),
+        ]
 
     def test_matches_across_invocation_directories(self):
         # A baseline written at the repo root must still absorb findings
@@ -862,9 +1607,10 @@ class TestReporters:
     def test_json_schema_stable(self):
         payload = json.loads(render_json(self._report()))
         assert set(payload) == {
-            "version", "tool", "files_scanned", "counts", "findings",
+            "version", "tool", "files_scanned", "rules_active", "counts",
+            "findings",
         }
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["tool"] == "repro-lint"
         assert payload["counts"] == {
             "errors": 1,
@@ -897,6 +1643,15 @@ class TestSelfHosting:
     def test_baseline_entries_all_justified(self):
         baseline = Baseline.load(".repro-lint-baseline.json")
         assert baseline.entries, "baseline should document accepted findings"
-        for entry in baseline.entries:
-            assert entry.justification.strip(), entry
-            assert not entry.justification.startswith("TODO"), entry
+        assert baseline.unjustified() == [], [
+            (e.rule, e.path) for e in baseline.unjustified()
+        ]
+
+    def test_concurrency_rules_clean_repo_wide(self):
+        # The ISSUE contract: RL007-RL012 alone, strict, zero fresh findings.
+        report = run_lint(select="RL007-RL012")
+        assert report.rules_active == [
+            "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+        ]
+        assert report.clean, "\n".join(f.render() for f in report.findings)
+        assert report.exit_code(strict=True) == 0
