@@ -40,6 +40,12 @@ Examples::
     repro-rrm serve --address .repro-rrm.sock --journal-dir fabric-journals
     repro-rrm submit --address .repro-rrm.sock --config tiny --jobs 4
     repro-rrm status --address .repro-rrm.sock
+
+    # Live fleet observability: scrape metrics, watch workers
+    repro-rrm serve --address .repro-rrm.sock --http 127.0.0.1:9100
+    repro-rrm top --address .repro-rrm.sock
+    repro-rrm sweep --config tiny --jobs 4 --journal sweep.jsonl \\
+        --metrics-out metrics.prom --flight-dir sweep.flight
 """
 
 from __future__ import annotations
@@ -283,6 +289,11 @@ def cmd_sweep(args) -> int:
         SweepProgress(len(workloads) * len(schemes)) if args.progress else None
     )
     fabric = args.jobs > 1
+    flight_dir = args.flight_dir
+    if flight_dir is None and fabric and args.journal:
+        # A journalled fabric sweep gets flight recorders by default so
+        # injected/real crashes stay explainable from the journal alone.
+        flight_dir = f"{args.journal}.flight"
     runner = ExperimentRunner(
         config,
         workloads=workloads,
@@ -296,6 +307,7 @@ def cmd_sweep(args) -> int:
         # merged deterministically; serially the loop below appends.
         ledger_path=args.ledger if fabric else None,
         fault_plan=fault_plan,
+        recorder_dir=flight_dir if fabric else None,
         on_event=reporter.on_event if reporter is not None else None,
         **({"tracer": tracer} if tracer is not None else {}),
     )
@@ -337,6 +349,18 @@ def cmd_sweep(args) -> int:
             f"wall {stats.wall_s:.1f}s",
             file=sys.stderr,
         )
+    if args.metrics_out:
+        from repro.obs.live.exposition import render_exposition
+        from repro.telemetry import MetricRegistry
+        from repro.utils.persist import atomic_write_text
+
+        registry = MetricRegistry()
+        if runner.fabric_stats is not None:
+            runner.fabric_stats.register_metrics(registry)
+        if runner.fleet is not None:
+            runner.fleet.register_metrics(registry)
+        atomic_write_text(Path(args.metrics_out), render_exposition(registry))
+        print(f"metrics snapshot written to {args.metrics_out}", file=sys.stderr)
     print(performance_report(runner, schemes))
     print()
     print(lifetime_report(runner, schemes))
@@ -357,12 +381,15 @@ def cmd_sweep(args) -> int:
 def cmd_serve(args) -> int:
     """Run the fabric batch service in the foreground until interrupted."""
     from repro.fabric import FabricServer
+    from repro.obs.live.slog import StructuredLogger
 
+    logger = StructuredLogger(sys.stderr, fields={"component": "serve"})
     server = FabricServer(
         args.address,
         args.journal_dir,
         baseline_path=args.baseline,
-        on_log=lambda line: print(line, file=sys.stderr),
+        logger=logger,
+        http_address=args.http,
     )
     try:
         server.start()
@@ -442,28 +469,53 @@ def cmd_submit(args) -> int:
 
 
 def cmd_status(args) -> int:
-    """Ping a running server and list its sweeps."""
+    """Ping a running server and list its sweeps (table, or raw --json)."""
     from repro.fabric import FabricClient
 
     client = FabricClient(args.address)
     try:
         info = client.ping()
         sweeps = client.status()
-        print(
-            f"server at {args.address}: protocol v{info.get('version')}, "
-            f"{len(sweeps)} sweep(s)"
-        )
-        for sweep in sweeps:
-            line = (
-                f"  {sweep.get('sweep', '?'):<10} {sweep.get('state', '?'):<9}"
-                f" {sweep.get('completed', 0)}/{sweep.get('jobs', 0)} ok"
-                f"  failed={sweep.get('failed', 0)}"
-                f"  workers={sweep.get('workers', 1)}"
-                f"  journal={sweep.get('journal', '-')}"
+        if args.json:
+            import json as _json
+
+            print(
+                _json.dumps(
+                    {
+                        "address": args.address,
+                        "protocol": info.get("version"),
+                        "sweeps": sweeps,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
             )
-            if sweep.get("error"):
-                line += f"  error={sweep['error']}"
-            print(line)
+        else:
+            rows = []
+            for sweep in sweeps:
+                rate = sweep.get("sim_events_per_sec")
+                rows.append(
+                    [
+                        sweep.get("sweep", "?"),
+                        sweep.get("state", "?"),
+                        f"{sweep.get('completed', 0)}/{sweep.get('jobs', 0)}",
+                        sweep.get("failed", 0),
+                        sweep.get("workers", 1),
+                        f"{rate:,.0f}" if isinstance(rate, float) and rate else "-",
+                        sweep.get("error") or sweep.get("journal", "-"),
+                    ]
+                )
+            print(
+                format_table(
+                    ["sweep", "state", "done", "failed", "jobs", "ev/s",
+                     "journal / error"],
+                    rows,
+                    title=(
+                        f"server at {args.address}: protocol "
+                        f"v{info.get('version')}, {len(sweeps)} sweep(s)"
+                    ),
+                )
+            )
         if args.shutdown:
             client.shutdown()
             print("shutdown requested", file=sys.stderr)
@@ -471,6 +523,19 @@ def cmd_status(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live TTY fleet view (heartbeats + sweep states) of a server."""
+    from repro.obs.live.top import run_top
+
+    try:
+        return run_top(
+            args.address, interval_s=args.interval, once=args.once
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_sensitivity(args) -> int:
@@ -919,6 +984,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="append every completed cell's metrics to a JSONL run ledger",
     )
+    p_sweep.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a Prometheus text-format snapshot of the fabric "
+        "counters and fleet aggregates after the sweep settles",
+    )
+    p_sweep.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="per-worker crash flight-recorder directory (fabric only; "
+        "default: <journal>.flight when --journal is given)",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_serve = sub.add_parser(
@@ -948,6 +1027,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="stream a gate.verdict event per sweep against this pinned "
         "baseline",
+    )
+    p_serve.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help="also expose GET /metrics (Prometheus text format) on this "
+        "plain-HTTP address (e.g. 127.0.0.1:9100; port 0 picks a free "
+        "port); the same text is always available as the 'metrics' op "
+        "on the line-JSON socket",
     )
     p_serve.set_defaults(func=cmd_serve)
 
@@ -989,7 +1077,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ask the server to shut down after reporting",
     )
+    p_status.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw status payload as JSON instead of the table",
+    )
     p_status.set_defaults(func=cmd_status)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live fleet view of a running 'serve' instance: per-worker "
+        "heartbeats (job, events/s, RSS, staleness) plus sweep states, "
+        "refreshed in place on a TTY",
+    )
+    p_top.add_argument(
+        "--address", default=".repro-rrm.sock", help="server address"
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: 2.0)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (scriptable snapshot)",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     p_sens = sub.add_parser(
         "sensitivity", help="RRM sensitivity sweeps (paper Figs. 11-13)"

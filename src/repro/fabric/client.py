@@ -42,6 +42,18 @@ class FabricClient:
             channel.send({"op": protocol.OP_STATUS})
             return self._checked(channel.recv()).get("sweeps", [])
 
+    def metrics(self) -> str:
+        """The server's live Prometheus exposition text."""
+        with self._open() as channel:
+            channel.send({"op": protocol.OP_METRICS})
+            return self._checked(channel.recv()).get("text", "")
+
+    def fleet(self) -> dict:
+        """The server's aggregated worker-heartbeat view."""
+        with self._open() as channel:
+            channel.send({"op": protocol.OP_FLEET})
+            return self._checked(channel.recv()).get("fleet", {})
+
     def shutdown(self) -> None:
         with self._open() as channel:
             channel.send({"op": protocol.OP_SHUTDOWN})

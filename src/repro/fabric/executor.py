@@ -28,6 +28,7 @@ fabric only changes *where* each deterministic simulation runs.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
 import sys
 import tempfile
@@ -56,6 +57,11 @@ _WORKER_IDLE_S = 0.05
 #: Grace period after SIGTERM before a worker is SIGKILL'd.
 _TERM_GRACE_S = 2.0
 
+#: Minimum idle-loop interval between worker heartbeats. Claims and
+#: settles always beat immediately; the throttle only bounds the idle
+#: chatter on the event queue.
+_HEARTBEAT_S = 1.0
+
 
 @dataclass
 class FabricStats:
@@ -76,6 +82,25 @@ class FabricStats:
     wall_s: float = 0.0
     #: Per-worker wall seconds spent inside simulations.
     worker_busy_s: Dict[int, float] = field(default_factory=dict)
+
+    def reset(self, *, n_workers: int = 0, jobs_total: int = 0) -> None:
+        """Zero every counter in place for a new sweep.
+
+        In place rather than rebinding a fresh instance so that holders
+        of a live reference (``repro-rrm serve`` scraping mid-sweep, the
+        runner's telemetry registration) keep seeing current numbers.
+        """
+        self.n_workers = n_workers
+        self.jobs_total = jobs_total
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_stolen = 0
+        self.retries = 0
+        self.releases = 0
+        self.respawns = 0
+        self.events_dropped = 0
+        self.wall_s = 0.0
+        self.worker_busy_s = {}
 
     @property
     def queue_depth(self) -> int:
@@ -144,6 +169,7 @@ def _fabric_worker_main(
     seed: int,
     fault_plan: Optional[FaultPlan],
     ledger_part,
+    recorder_dir,
     events,
 ) -> None:
     """Worker process entry point: claim, simulate, settle, repeat.
@@ -152,6 +178,9 @@ def _fabric_worker_main(
     pickle it. All communication is one-way: durable records go to the
     shared journal, advisory lifecycle events go to the *events* queue.
     """
+    from repro.obs.live.heartbeat import HEARTBEAT_EVENT, make_heartbeat
+    from repro.obs.live.slog import StructuredLogger
+
     journal = SharedJournal(journal_path)
     ledger = None
     if ledger_part is not None:
@@ -159,29 +188,66 @@ def _fabric_worker_main(
 
         ledger = RunLedger(ledger_part)
 
+    recorder = None
+    if recorder_dir is not None:
+        from repro.obs.live.flightrecorder import (
+            FlightRecorder,
+            recorder_path_for,
+        )
+
+        recorder = FlightRecorder(
+            recorder_path_for(recorder_dir, worker_id, os.getpid()),
+            context={"worker": worker_id, "pid": os.getpid()},
+        ).install()
+    log = StructuredLogger(
+        sys.stderr,
+        fields={"worker": worker_id},
+        mirror=recorder.mirror if recorder is not None else None,
+    )
+
     events_dropped = 0
 
     def emit(name: str, args: dict) -> None:
         # A dead coordinator must not crash the worker, but dropped
         # events leave evidence: a counter (reported with worker.done)
-        # and one stderr line per outage.
+        # and one structured log line per outage. Every event also
+        # lands in the flight recorder's ring so a post-mortem sees
+        # what the worker was doing right before it died.
         nonlocal events_dropped
+        if recorder is not None:
+            recorder.record(name, dict(args))
         try:
             events.put((worker_id, name, args))
         except Exception as exc:  # noqa: BLE001 - any queue failure
             events_dropped += 1
             if events_dropped == 1:
-                print(
-                    f"fabric worker {worker_id}: event channel down "
-                    f"({type(exc).__name__}: {exc}); dropping lifecycle "
-                    "events (journal records remain authoritative)",
-                    file=sys.stderr,
+                log.error(
+                    "fabric.event_channel.down",
+                    error=f"{type(exc).__name__}: {exc}",
+                    detail="dropping lifecycle events; journal records "
+                    "remain authoritative",
                 )
 
     busy_s = 0.0
     jobs_done = 0
     stolen = 0
+    sim_events_total = 0
+    beat_stamp = -_HEARTBEAT_S
+
+    def beat(job: Optional[str], attempt: int) -> None:
+        nonlocal beat_stamp
+        beat_stamp = time.monotonic()
+        emit(
+            HEARTBEAT_EVENT,
+            make_heartbeat(
+                worker=worker_id, job=job, attempt=attempt,
+                jobs_done=jobs_done, busy_s=busy_s,
+                sim_events=sim_events_total,
+            ),
+        )
+
     try:
+        beat(None, 0)
         while True:
             claim = journal.claim_next(
                 worker_id, shard, all_keys, lease_s=lease_s
@@ -189,6 +255,9 @@ def _fabric_worker_main(
             if claim is None:
                 if not journal.unsettled(all_keys):
                     break
+                idle_stamp = time.monotonic()
+                if idle_stamp - beat_stamp >= _HEARTBEAT_S:
+                    beat(None, 0)
                 time.sleep(_WORKER_IDLE_S)
                 continue
             workload, scheme_value = claim.key
@@ -203,6 +272,7 @@ def _fabric_worker_main(
                 {"key": list(claim.key), "attempt": claim.attempt,
                  "worker": worker_id},
             )
+            beat(f"{workload}/{scheme_value}", claim.attempt)
             fault = (
                 fault_plan.fault_for(claim.key, claim.attempt)
                 if fault_plan
@@ -211,6 +281,18 @@ def _fabric_worker_main(
             started = time.monotonic()
             try:
                 if fault is not None:
+                    # A crash fault is os._exit: no excepthook, no
+                    # atexit, no SIGTERM handler. Dump the recorder
+                    # *before* pulling the trigger so the crash is
+                    # explainable from its artifact.
+                    if recorder is not None:
+                        recorder.record(
+                            "fault.trigger",
+                            {"kind": fault, "key": list(claim.key),
+                             "attempt": claim.attempt},
+                        )
+                        if fault == "crash":
+                            recorder.try_dump("injected-crash")
                     trigger_fault(fault)  # crash/hang never return
                 result = run_workload(
                     config, workload, Scheme(scheme_value),
@@ -237,6 +319,7 @@ def _fabric_worker_main(
                          "delay_s": delay, "error": error_type,
                          "worker": worker_id},
                     )
+                    beat(None, 0)
                     time.sleep(delay)
                     continue
                 from repro.errors import CorruptResultError
@@ -251,14 +334,22 @@ def _fabric_worker_main(
                     message=f"{error_type}: {exc}",
                     attempts=claim.attempt,
                     elapsed_s=time.monotonic() - started,
+                    recorder_path=(
+                        str(recorder.path) if recorder is not None else None
+                    ),
                 )
+                if recorder is not None:
+                    recorder.record("job.failed", failed.as_dict())
+                    recorder.try_dump("job-failed")
                 journal.append_failure(
                     workload, scheme_value, failed.as_dict(), worker=worker_id
                 )
                 emit("job.failed", failed.as_dict())
+                beat(None, 0)
                 continue
             busy_s += time.monotonic() - started
             jobs_done += 1
+            sim_events_total += result.sim_events
             result_dict = result.to_json_dict()
             journal.append_result(
                 workload, scheme_value, result_dict, worker=worker_id
@@ -272,7 +363,9 @@ def _fabric_worker_main(
                 {"key": list(claim.key), "attempts": claim.attempt,
                  "worker": worker_id, "result": result_dict},
             )
+            beat(None, 0)
     finally:
+        beat(None, 0)
         emit(
             "fabric.worker.done",
             {"worker": worker_id, "busy_s": busy_s, "jobs": jobs_done,
@@ -322,8 +415,13 @@ class FabricExecutor:
         on_result: ``(key, SimResult)`` fired in completion order.
         on_failure: ``(FailedRun)`` fired when a job exhausts retries.
         clock: monotonic clock used for coordinator timeout/grace
-            decisions; injectable so expiry paths are testable without
-            sleeping (RL011).
+            decisions and heartbeat staleness; injectable so expiry
+            paths are testable without sleeping (RL011).
+        recorder_dir: when set, each worker keeps a crash flight
+            recorder whose dump lands here
+            (:func:`repro.obs.live.flightrecorder.recorder_path_for`);
+            crash/timeout failure records link the dump via
+            ``recorder_path``.
     """
 
     def __init__(
@@ -341,6 +439,7 @@ class FabricExecutor:
         on_result: Optional[Callable[[Key, SimResult], None]] = None,
         on_failure: Optional[Callable[[FailedRun], None]] = None,
         clock: Callable[[], float] = time.monotonic,
+        recorder_dir=None,
     ) -> None:
         if n_jobs < 1:
             raise ConfigError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -348,6 +447,9 @@ class FabricExecutor:
             raise ConfigError(f"lease_s must be positive, got {lease_s}")
         if timeout_s is not None and timeout_s <= 0:
             raise ConfigError(f"timeout_s must be positive, got {timeout_s}")
+        from repro.obs.live.heartbeat import HEARTBEAT_EVENT, FleetStatus
+
+        self._heartbeat_event = HEARTBEAT_EVENT
         self.n_jobs = n_jobs
         self.journal_path = journal_path
         self.lease_s = lease_s
@@ -360,7 +462,10 @@ class FabricExecutor:
         self.on_result = on_result
         self.on_failure = on_failure
         self._clock = clock
+        self.recorder_dir = recorder_dir
         self.stats = FabricStats(n_workers=n_jobs)
+        #: Aggregated worker heartbeats; live while a sweep runs.
+        self.fleet = FleetStatus(clock=clock)
 
     def _emit(self, name: str, args: dict) -> None:
         if self.on_event is not None:
@@ -401,7 +506,10 @@ class FabricExecutor:
         if fresh or not Path(journal_path).exists():
             journal.start(meta or {})
 
-        self.stats = FabricStats(n_workers=self.n_jobs, jobs_total=len(keys))
+        self.stats.reset(n_workers=self.n_jobs, jobs_total=len(keys))
+        self.fleet.clear()
+        if self.recorder_dir is not None:
+            Path(self.recorder_dir).mkdir(parents=True, exist_ok=True)
         started = time.monotonic()
         try:
             delivered = self._supervise(journal, config, keys, max_events)
@@ -452,6 +560,7 @@ class FabricExecutor:
                 self.seed,
                 self.fault_plan,
                 ledger_part,
+                self.recorder_dir,
                 events,
             ),
             daemon=True,
@@ -549,6 +658,10 @@ class FabricExecutor:
                     + args.get("busy_s", 0.0)
                 )
                 self.stats.events_dropped += args.get("events_dropped", 0)
+                self.fleet.mark_done(worker_id)
+                self._emit(name, args)
+            elif name == self._heartbeat_event:
+                self.fleet.observe(args)
                 self._emit(name, args)
             else:
                 self._emit(name, args)
@@ -645,6 +758,7 @@ class FabricExecutor:
                     key=key, kind=kind,
                     message=f"{message} (after {attempt} attempts)",
                     attempts=attempt,
+                    recorder_path=self._slot_recorder_path(slot),
                 )
                 journal.append_failure(
                     key[0], key[1], failed.as_dict(), worker=slot.worker_id
@@ -653,6 +767,23 @@ class FabricExecutor:
                 self._emit("job.failed", failed.as_dict())
                 if self.on_failure is not None:
                     self.on_failure(failed)
+
+    def _slot_recorder_path(self, slot) -> Optional[str]:
+        """A dead worker's flight-recorder dump path, if one was written.
+
+        The worker dumped *before* dying (pre-``os._exit`` for injected
+        crashes, in the SIGTERM handler for timeout kills), so by
+        settle time the file either exists or never will.
+        """
+        process = slot.process
+        if self.recorder_dir is None or process is None or process.pid is None:
+            return None
+        from repro.obs.live.flightrecorder import recorder_path_for
+
+        path = recorder_path_for(
+            self.recorder_dir, slot.worker_id, process.pid
+        )
+        return str(path) if path.exists() else None
 
     # ------------------------------------------------------------------
     def _reconcile(self, journal, keys, delivered) -> FabricOutcome:

@@ -16,7 +16,14 @@ Requests carry an ``op``::
     {"op": "submit", "spec": {...SweepSpec...}, "watch": true}
     {"op": "status"}
     {"op": "watch", "sweep": "sweep-001"}
+    {"op": "metrics"}
+    {"op": "fleet"}
     {"op": "shutdown"}
+
+``metrics`` returns ``{"ok": true, "text": "<Prometheus exposition>"}``
+— the same text the optional plain-HTTP ``/metrics`` endpoint serves.
+``fleet`` returns ``{"ok": true, "fleet": {...FleetStatus.as_dict()...}}``
+(per-worker heartbeats with staleness annotations plus fleet totals).
 
 Responses carry ``ok`` (and ``error`` when false); streamed events
 carry ``event`` — ``sweep.queued`` / ``sweep.started`` /
@@ -45,6 +52,8 @@ OP_PING = "ping"
 OP_SUBMIT = "submit"
 OP_STATUS = "status"
 OP_WATCH = "watch"
+OP_METRICS = "metrics"
+OP_FLEET = "fleet"
 OP_SHUTDOWN = "shutdown"
 
 EVENT_SWEEP_QUEUED = "sweep.queued"

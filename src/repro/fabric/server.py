@@ -50,6 +50,9 @@ class _SweepState:
         self.completed = 0
         self.failed = 0
         self.error: Optional[str] = None
+        #: The live ExperimentRunner while (and after) the sweep runs;
+        #: the server's metrics/fleet requests read through it.
+        self.runner = None
         self.lock = threading.Lock()
         self.events: List[dict] = []
         self.subscribers: List[queue_module.Queue] = []
@@ -78,6 +81,10 @@ class _SweepState:
                 self.subscribers.remove(subscriber)
 
     def summary(self) -> dict:
+        rate = 0.0
+        runner = self.runner
+        if runner is not None and getattr(runner, "fleet", None) is not None:
+            rate = runner.fleet.totals().get("sim_events_per_sec", 0.0)
         with self.lock:
             return {
                 "sweep": self.sweep_id,
@@ -86,6 +93,7 @@ class _SweepState:
                 "completed": self.completed,
                 "failed": self.failed,
                 "workers": self.spec.jobs,
+                "sim_events_per_sec": rate,
                 "journal": str(self.journal_path),
                 "ledger": str(self.ledger_path),
                 **({"error": self.error} if self.error else {}),
@@ -102,11 +110,19 @@ class FabricServer:
         *,
         baseline_path=None,
         on_log=None,
+        logger=None,
+        http_address=None,
     ) -> None:
         self.address = address
         self.journal_dir = Path(journal_dir)
         self.baseline_path = baseline_path
         self.on_log = on_log
+        #: Optional :class:`~repro.obs.live.slog.StructuredLogger`;
+        #: preferred over the legacy plain-line ``on_log`` hook.
+        self.logger = logger
+        #: Optional ``HOST:PORT`` for a plain-HTTP ``/metrics`` endpoint.
+        self.http_address = http_address
+        self._http = None
         self._sweeps: Dict[str, _SweepState] = {}
         self._order: List[str] = []
         self._queue: "queue_module.Queue[Optional[str]]" = queue_module.Queue()
@@ -118,9 +134,13 @@ class FabricServer:
         #: swallowed scheduler exception is visible from any client.
         self.sweeps_failed = 0
 
-    def _log(self, message: str) -> None:
-        if self.on_log is not None:
-            self.on_log(message)
+    def _log(self, event: str, **fields) -> None:
+        """One structured log record (or a legacy plain line)."""
+        if self.logger is not None:
+            self.logger.event(event, **fields)
+        elif self.on_log is not None:
+            detail = " ".join(f"{k}={v}" for k, v in fields.items())
+            self.on_log(f"{event} {detail}".strip())
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -137,7 +157,18 @@ class FabricServer:
             thread = threading.Thread(target=target, name=name, daemon=True)
             thread.start()
             self._threads.append(thread)
-        self._log(f"serving on {self.address} (journals in {self.journal_dir})")
+        if self.http_address is not None:
+            from repro.obs.live.httpmetrics import MetricsHTTPServer
+
+            self._http = MetricsHTTPServer(
+                self.http_address, self.render_metrics
+            ).start()
+            self._log("serve.http_metrics", port=self._http.port)
+        self._log(
+            "serve.listening",
+            address=str(self.address),
+            journal_dir=str(self.journal_dir),
+        )
         return self
 
     def stop(self) -> None:
@@ -147,6 +178,8 @@ class FabricServer:
             return
         self._stopping.set()
         self._queue.put(None)
+        if self._http is not None:
+            self._http.stop()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -181,7 +214,7 @@ class FabricServer:
              "spec": spec.to_json_dict()}
         )
         self._queue.put(sweep_id)
-        self._log(f"{sweep_id} queued ({len(spec.keys())} jobs)")
+        self._log("sweep.queued", sweep=sweep_id, jobs=len(spec.keys()))
         return sweep_id
 
     def status(self) -> List[dict]:
@@ -194,6 +227,57 @@ class FabricServer:
                 return self._sweeps[sweep_id]
             except KeyError:
                 raise ProtocolError(f"unknown sweep {sweep_id!r}") from None
+
+    def _live_runner(self):
+        """The most recent sweep's runner (running or finished), if any."""
+        with self._lock:
+            for sweep_id in reversed(self._order):
+                runner = self._sweeps[sweep_id].runner
+                if runner is not None:
+                    return runner
+        return None
+
+    # ------------------------------------------------------------------
+    # Live observability (the `metrics` / `fleet` ops and /metrics HTTP)
+    # ------------------------------------------------------------------
+    def build_registry(self):
+        """A fresh registry over the server's live state.
+
+        Rebuilt per scrape: registration is one-time wiring per
+        registry, and snapshots are pure reads, so a throwaway registry
+        is the clean way to expose objects whose lifetime (one sweep)
+        is shorter than the server's.
+        """
+        from repro.telemetry.registry import MetricRegistry
+
+        registry = MetricRegistry()
+        registry.gauge("serve.sweeps_submitted", lambda: len(self._order))
+        registry.gauge("serve.sweeps_failed", lambda: self.sweeps_failed)
+        runner = self._live_runner()
+        if runner is not None and runner.fabric_stats is not None:
+            runner.fabric_stats.register_metrics(registry)
+        if runner is not None and runner.fleet is not None:
+            runner.fleet.register_metrics(registry)
+        if self.logger is not None:
+            self.logger.register_metrics(registry)
+        if self._http is not None:
+            self._http.register_metrics(registry)
+        return registry
+
+    def render_metrics(self) -> str:
+        """Prometheus exposition text for the current server state."""
+        from repro.obs.live.exposition import render_exposition
+
+        return render_exposition(self.build_registry())
+
+    def fleet_snapshot(self) -> dict:
+        """The aggregated worker-heartbeat view (empty before any sweep)."""
+        runner = self._live_runner()
+        if runner is not None and runner.fleet is not None:
+            return runner.fleet.as_dict()
+        from repro.obs.live.heartbeat import FleetStatus
+
+        return FleetStatus().as_dict()
 
     # ------------------------------------------------------------------
     # Scheduler
@@ -211,14 +295,20 @@ class FabricServer:
                     state.state = "failed"
                     state.error = f"{type(exc).__name__}: {exc}"
                 self.sweeps_failed += 1
-                self._log(f"{sweep_id} failed: {state.error}")
-                self._log(traceback.format_exc())
+                self._log(
+                    "sweep.failed",
+                    level="error",
+                    sweep=sweep_id,
+                    error=state.error,
+                    traceback=traceback.format_exc(),
+                )
             state.publish(
                 {"event": protocol.EVENT_SWEEP_FINISHED, **state.summary()}
             )
 
     def _run_sweep(self, state: _SweepState) -> None:
         from repro.obs.ledger import KIND_SWEEP, LedgerEntry, RunLedger
+        from repro.obs.live.heartbeat import HEARTBEAT_EVENT
         from repro.sim.runner import ExperimentRunner
 
         spec = state.spec
@@ -228,10 +318,15 @@ class FabricServer:
             {"event": protocol.EVENT_SWEEP_STARTED, "sweep": state.sweep_id,
              "jobs": len(spec.keys()), "workers": spec.jobs}
         )
-        self._log(f"{state.sweep_id} started ({spec.jobs} workers)")
+        self._log("sweep.started", sweep=state.sweep_id, workers=spec.jobs)
         config = spec.build_config()
 
         def on_event(name: str, args: dict) -> None:
+            if name == HEARTBEAT_EVENT:
+                # Heartbeats are aggregated in the runner's FleetStatus
+                # (served via the `fleet` op); buffering every beat in
+                # the watch history would grow it without bound.
+                return
             state.publish({"event": name, "sweep": state.sweep_id, **args})
 
         entries = []
@@ -253,8 +348,11 @@ class FabricServer:
             max_events=spec.max_events,
             n_jobs=spec.jobs,
             journal_path=state.journal_path,
+            fault_plan=spec.build_fault_plan(),
+            recorder_dir=self.journal_dir / f"{state.sweep_id}.flight",
             on_event=on_event,
         )
+        state.runner = runner
         runner.run_all(progress=on_cell)
         with state.lock:
             state.failed = len(runner.failures)
@@ -267,8 +365,10 @@ class FabricServer:
             ledger.append(entry)
         self._gate(state, entries)
         self._log(
-            f"{state.sweep_id} finished "
-            f"({state.completed} ok, {state.failed} failed)"
+            "sweep.finished",
+            sweep=state.sweep_id,
+            completed=state.completed,
+            failed=state.failed,
         )
 
     def _gate(self, state: _SweepState, entries) -> None:
@@ -351,6 +451,10 @@ class FabricServer:
                 return True
         elif op == protocol.OP_STATUS:
             channel.send({"ok": True, "sweeps": self.status()})
+        elif op == protocol.OP_METRICS:
+            channel.send({"ok": True, "text": self.render_metrics()})
+        elif op == protocol.OP_FLEET:
+            channel.send({"ok": True, "fleet": self.fleet_snapshot()})
         elif op == protocol.OP_WATCH:
             sweep_id = request.get("sweep")
             if not sweep_id:
@@ -361,7 +465,7 @@ class FabricServer:
             return True
         elif op == protocol.OP_SHUTDOWN:
             channel.send({"ok": True})
-            self._log("shutdown requested")
+            self._log("serve.shutdown_requested")
             self.stop()
             return True
         else:

@@ -33,6 +33,10 @@ class SweepSpec:
     schemes: Tuple[str, ...] = ()  # canonical Scheme values
     max_events: Optional[int] = None
     jobs: int = 1
+    #: Fault-injection specs (``KIND:TARGET[:MAX_FIRES]``), validated at
+    #: construction so a typo'd drill is rejected at submit time, not
+    #: mid-sweep. Empty means no injection.
+    faults: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.config_name not in CONFIG_NAMES:
@@ -46,6 +50,10 @@ class SweepSpec:
             raise ConfigError(
                 f"max_events must be >= 1, got {self.max_events}"
             )
+        from repro.resilience.faultinject import FaultSpec
+
+        for spec in self.faults:
+            FaultSpec.parse(spec)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -59,6 +67,7 @@ class SweepSpec:
         schemes: Optional[List[str]] = None,
         max_events: Optional[int] = None,
         jobs: int = 1,
+        faults: Optional[List[str]] = None,
     ) -> "SweepSpec":
         """Build a spec, defaulting workloads/schemes to the full matrix
         and normalising scheme names to canonical values."""
@@ -74,6 +83,7 @@ class SweepSpec:
             else tuple(s.value for s in all_schemes()),
             max_events=max_events,
             jobs=jobs,
+            faults=tuple(faults or ()),
         )
 
     # ------------------------------------------------------------------
@@ -95,6 +105,15 @@ class SweepSpec:
         """The sweep's (workload, scheme value) job keys, sweep order."""
         return [(w, s) for w in self.workloads for s in self.schemes]
 
+    def build_fault_plan(self):
+        """The spec's :class:`~repro.resilience.faultinject.FaultPlan`,
+        or ``None`` when no faults are requested."""
+        if not self.faults:
+            return None
+        from repro.resilience.faultinject import FaultPlan
+
+        return FaultPlan.parse(self.faults)
+
     # ------------------------------------------------------------------
     def to_json_dict(self) -> dict:
         return {
@@ -105,6 +124,7 @@ class SweepSpec:
             "schemes": list(self.schemes),
             "max_events": self.max_events,
             "jobs": self.jobs,
+            "faults": list(self.faults),
         }
 
     @classmethod
@@ -114,7 +134,7 @@ class SweepSpec:
             raise ConfigError(f"sweep spec must be an object, got {type(d).__name__}")
         known = {
             "config", "seed", "duration_s", "workloads", "schemes",
-            "max_events", "jobs",
+            "max_events", "jobs", "faults",
         }
         unknown = sorted(set(d) - known)
         if unknown:
@@ -136,6 +156,7 @@ class SweepSpec:
                     else None
                 ),
                 jobs=int(d.get("jobs", 1)),
+                faults=[str(s) for s in d.get("faults") or []],
             )
         except (TypeError, ValueError) as exc:
             raise ConfigError(f"bad sweep spec: {exc}") from None

@@ -26,6 +26,7 @@ DEFAULT_DASHBOARD_METRICS = (
     "ipc",
     "lifetime_years",
     "wall_time_s",
+    "sim_events_per_sec",
     "avg_read_latency_ns",
     "avg_write_latency_ns",
     "refresh_writes",
@@ -332,6 +333,37 @@ def _attribution_sections(
     ]
 
 
+def _throughput_section(
+    entries: Sequence[LedgerEntry], max_points: int
+) -> List[str]:
+    """Ledger-wide simulator throughput trend (``sim_events_per_sec``).
+
+    One chronological series across *all* entries, so a host slowdown or
+    a simulator-speed regression shows up as a fleet-wide dip rather
+    than being diluted across per-run-name cards.
+    """
+    series = [
+        e.metrics["sim_events_per_sec"]
+        for e in entries
+        if e.metrics.get("sim_events_per_sec")
+    ]
+    if len(series) < 2:
+        return []
+    series = series[-max_points:]
+    latest = series[-1]
+    lo, hi = min(series), max(series)
+    return [
+        "<h2>Simulator throughput</h2>",
+        '<div class="cards">'
+        '<div class="card"><div class="metric">sim_events_per_sec '
+        "(all runs, chronological)</div>"
+        f'<div class="value">{_fmt_value(latest)}</div>'
+        f'<div class="delta">{len(series)} runs &middot; '
+        f"min {_fmt_value(lo)} &middot; max {_fmt_value(hi)}</div>"
+        f"{_sparkline(series)}</div></div>",
+    ]
+
+
 def _trend_sections(
     grouped: Dict[str, List[LedgerEntry]],
     metrics: List[str],
@@ -399,6 +431,7 @@ def render_dashboard(
     if gate_report is not None:
         body.extend(_gate_section(gate_report))
     if grouped:
+        body.extend(_throughput_section(list(entries), max_points))
         body.extend(_attribution_sections(grouped))
         body.extend(_trend_sections(grouped, picked, max_points))
     else:

@@ -1,0 +1,86 @@
+"""Prometheus-style text exposition of a metric registry.
+
+Renders every metric in a :class:`~repro.telemetry.registry.MetricRegistry`
+as the plain-text format scrapers understand (version 0.0.4): one
+``# TYPE`` line per family followed by sample lines. Kind mapping:
+
+- ``counter`` → ``counter``;
+- ``gauge`` / ``derived`` → ``gauge`` (a derived metric is still a
+  point-in-time read from the scraper's perspective);
+- ``histogram`` → ``histogram`` with cumulative ``_bucket{le="..."}``
+  samples, ``_sum`` and ``_count``. Registry buckets are
+  half-open ``[lo, hi)`` while Prometheus ``le`` is inclusive; the
+  boundary samples land one bucket high, which is the standard loss of
+  precision for pre-bucketed data and irrelevant to trend scraping.
+
+Rendering is a pure read (gauges are pulled, nothing mutated), so a
+snapshot may be taken mid-run without perturbing determinism.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Union
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str, *, namespace: str = "repro") -> str:
+    """Map a dotted registry path to a legal Prometheus metric name.
+
+    ``memctrl.reads_completed`` → ``repro_memctrl_reads_completed``.
+    Any character outside ``[a-zA-Z0-9_:]`` becomes ``_``.
+    """
+    flat = _INVALID_CHARS.sub("_", name.replace(".", "_"))
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if _INVALID_FIRST.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _format_number(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+def _render_histogram(flat: str, value: dict, out: List[str]) -> None:
+    out.append(f"# TYPE {flat} histogram")
+    cumulative = 0
+    for bound, count in zip(value["bounds"], value["counts"]):
+        cumulative += count
+        out.append(
+            f'{flat}_bucket{{le="{_format_number(float(bound))}"}} {cumulative}'
+        )
+    out.append(f'{flat}_bucket{{le="+Inf"}} {value["count"]}')
+    out.append(f"{flat}_sum {_format_number(value['sum'])}")
+    out.append(f"{flat}_count {value['count']}")
+
+
+def render_exposition(registry, *, namespace: str = "repro") -> str:
+    """Render every metric in *registry* as Prometheus exposition text.
+
+    Names are sorted (the registry's natural order), so two snapshots of
+    the same state are byte-identical — diffs and golden tests work.
+    """
+    out: List[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        flat = sanitize_metric_name(name, namespace=namespace)
+        value = metric.value()
+        if isinstance(value, dict):
+            _render_histogram(flat, value, out)
+            continue
+        kind = "counter" if metric.kind == "counter" else "gauge"
+        out.append(f"# TYPE {flat} {kind}")
+        out.append(f"{flat} {_format_number(value)}")
+    return "\n".join(out) + "\n" if out else ""

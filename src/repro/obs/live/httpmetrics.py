@@ -1,0 +1,135 @@
+"""Minimal plain-HTTP ``/metrics`` endpoint.
+
+Just enough HTTP/1.0 to satisfy a scraper: one acceptor thread, one
+request served at a time (scrapes are rare and small), ``GET /metrics``
+answered with the Prometheus text rendered by a caller-supplied
+callback, anything else with 404. No framework, no dependency — the
+whole point is that ``curl localhost:PORT/metrics`` works against a
+running ``repro-rrm serve`` with nothing installed.
+
+The render callback is invoked per request, so the text always reflects
+live state; it must therefore be cheap and thread-safe (registry
+snapshots are pure reads, so the standard callback qualifies).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["MetricsHTTPServer"]
+
+_MAX_REQUEST_BYTES = 8192
+_RECV_TIMEOUT_S = 5.0
+
+
+def _parse_http_address(address: str) -> Tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ConfigError(
+            f"http metrics address must be HOST:PORT, got {address!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+class MetricsHTTPServer:
+    """Single-threaded HTTP exposition server.
+
+    Args:
+        address: ``HOST:PORT`` to bind (port 0 picks a free port; the
+            bound port is available as :attr:`port` after ``start``).
+        render: Zero-argument callable returning the exposition text.
+    """
+
+    def __init__(self, address: str, render: Callable[[], str]) -> None:
+        self._host, self._port = _parse_http_address(address)
+        self._render = render
+        self.requests_served = 0
+        self.request_errors = 0
+        self.port: Optional[int] = None
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    def register_metrics(self, registry, prefix: str = "obs.http") -> None:
+        """Publish the endpoint's counters into a telemetry registry."""
+        registry.gauge(f"{prefix}.requests_served", lambda: self.requests_served)
+        registry.gauge(f"{prefix}.request_errors", lambda: self.request_errors)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MetricsHTTPServer":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, self._port))
+        sock.listen(8)
+        self._sock = sock
+        self.port = sock.getsockname()[1]
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="metrics-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                if self._stopping.is_set():
+                    return
+                self.request_errors += 1
+                continue
+            try:
+                self._serve_one(conn)
+                self.requests_served += 1
+            except Exception:
+                self.request_errors += 1
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _serve_one(self, conn: socket.socket) -> None:
+        conn.settimeout(_RECV_TIMEOUT_S)
+        request = b""
+        while b"\r\n" not in request and len(request) < _MAX_REQUEST_BYTES:
+            chunk = conn.recv(1024)
+            if not chunk:
+                break
+            request += chunk
+        line = request.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = line.split()
+        if len(parts) >= 2 and parts[0] == "GET" and parts[1] in (
+            "/metrics",
+            "/metrics/",
+        ):
+            body = self._render().encode("utf-8")
+            head = (
+                "HTTP/1.0 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            )
+        else:
+            body = b"not found\n"
+            head = (
+                "HTTP/1.0 404 Not Found\r\n"
+                "Content-Type: text/plain\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            )
+        conn.sendall(head.encode("latin-1") + body)

@@ -1,0 +1,143 @@
+"""``repro-rrm top``: a live TTY view of a running fleet.
+
+Polls a ``repro-rrm serve`` daemon for its :class:`FleetStatus` snapshot
+and sweep table, and redraws a frame per poll: one row per worker (pid,
+claimed job, attempt, jobs done, events/sec, RSS, heartbeat age) plus
+fleet totals and per-sweep progress. Stale workers — heartbeat older
+than the server's staleness horizon — are flagged ``STALE`` so a hung
+worker is visible long before its lease expires.
+
+Rendering is split into pure functions over plain dicts (the wire
+payloads) so frames are golden-testable without sockets; the poll loop
+takes injectable ``sleep`` and a frame bound for the same reason.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.progress import _format_count
+
+__all__ = ["format_fleet_lines", "format_sweep_lines", "render_frame", "run_top"]
+
+
+def _format_bytes(n: float) -> str:
+    for bound, suffix in ((1 << 30, "GB"), (1 << 20, "MB"), (1 << 10, "kB")):
+        if n >= bound:
+            return f"{n / bound:.1f}{suffix}"
+    return f"{n:.0f}B"
+
+
+def _worker_rate(record: Dict[str, Any]) -> float:
+    busy_s = record.get("busy_s", 0.0)
+    return record.get("sim_events", 0) / busy_s if busy_s > 0 else 0.0
+
+
+def format_fleet_lines(fleet: Dict[str, Any]) -> List[str]:
+    """Worker table + totals line from a ``fleet`` wire payload."""
+    totals = fleet.get("totals", {})
+    workers = fleet.get("workers", [])
+    lines = [
+        "fleet: {n} worker(s), {stale} stale | jobs done {jobs} | "
+        "throughput {rate} ev/s | rss {rss}".format(
+            n=totals.get("workers", 0),
+            stale=totals.get("stale_workers", 0),
+            jobs=totals.get("jobs_done", 0),
+            rate=_format_count(totals.get("sim_events_per_sec", 0.0)),
+            rss=_format_bytes(totals.get("rss_bytes", 0)),
+        )
+    ]
+    if not workers:
+        lines.append("  (no worker heartbeats yet)")
+        return lines
+    header = (
+        f"  {'wrk':>3}  {'pid':>7}  {'job':<28} {'att':>3}  "
+        f"{'jobs':>4}  {'ev/s':>8}  {'rss':>8}  {'age':>6}  "
+    )
+    lines.append(header.rstrip())
+    for record in workers:
+        job = record.get("job") or "-"
+        if len(job) > 28:
+            job = job[:25] + "..."
+        flag = "STALE" if record.get("stale") else ""
+        lines.append(
+            f"  {record.get('worker', '?'):>3}  {record.get('pid', '?'):>7}  "
+            f"{job:<28} {record.get('attempt', 0):>3}  "
+            f"{record.get('jobs_done', 0):>4}  "
+            f"{_format_count(_worker_rate(record)):>8}  "
+            f"{_format_bytes(record.get('rss_bytes', 0)):>8}  "
+            f"{record.get('age_s', 0.0):>5.1f}s  {flag}".rstrip()
+        )
+    return lines
+
+
+def format_sweep_lines(sweeps: List[Dict[str, Any]]) -> List[str]:
+    """Per-sweep progress lines from a ``status`` wire payload."""
+    if not sweeps:
+        return ["sweeps: none submitted"]
+    lines = ["sweeps:"]
+    for summary in sweeps:
+        jobs = summary.get("jobs", 0)
+        completed = summary.get("completed", 0)
+        failed = summary.get("failed", 0)
+        line = (
+            f"  {summary.get('sweep', '?'):<12} {summary.get('state', '?'):<9} "
+            f"{completed}/{jobs} done"
+        )
+        if failed:
+            line += f"  {failed} FAILED"
+        if summary.get("error"):
+            line += f"  error: {summary['error']}"
+        lines.append(line)
+    return lines
+
+
+def render_frame(
+    fleet: Dict[str, Any], sweeps: List[Dict[str, Any]]
+) -> str:
+    """One full ``top`` frame (no trailing newline)."""
+    return "\n".join(format_fleet_lines(fleet) + format_sweep_lines(sweeps))
+
+
+def run_top(
+    address: str,
+    *,
+    interval_s: float = 2.0,
+    once: bool = False,
+    stream=None,
+    sleep=time.sleep,
+    max_frames: Optional[int] = None,
+) -> int:
+    """Poll *address* and redraw frames until interrupted.
+
+    Returns a process exit code (0 on clean exit / Ctrl-C). ``once``
+    prints a single frame — the scriptable mode CI uses.
+    """
+    from repro.fabric.client import FabricClient
+
+    out = stream if stream is not None else sys.stdout
+    try:
+        tty = bool(out.isatty())
+    except (AttributeError, ValueError):
+        tty = False
+    client = FabricClient(address, timeout_s=10.0)
+    frames = 0
+    try:
+        while True:
+            fleet = client.fleet()
+            sweeps = client.status()
+            frame = render_frame(fleet, sweeps)
+            if tty and frames:
+                out.write("\x1b[2J\x1b[H")
+            out.write(frame + "\n")
+            if not tty and not once:
+                out.write("---\n")
+            out.flush()
+            frames += 1
+            if once or (max_frames is not None and frames >= max_frames):
+                return 0
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0

@@ -69,6 +69,10 @@ class FailedRun:
     message: str
     attempts: int
     elapsed_s: float = 0.0
+    #: Path of the worker's flight-recorder dump, when one was written
+    #: (fabric workers with a recorder dir); the post-mortem pointer
+    #: that makes a ``crash`` failure explainable.
+    recorder_path: Optional[str] = None
 
     _ERROR_TYPES = {
         "timeout": JobTimeoutError,
@@ -83,13 +87,16 @@ class FailedRun:
         )
 
     def as_dict(self) -> dict:
-        return {
+        d = {
             "key": list(self.key),
             "kind": self.kind,
             "message": self.message,
             "attempts": self.attempts,
             "elapsed_s": self.elapsed_s,
         }
+        if self.recorder_path is not None:
+            d["recorder_path"] = self.recorder_path
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "FailedRun":
@@ -99,6 +106,7 @@ class FailedRun:
             message=d["message"],
             attempts=d["attempts"],
             elapsed_s=d.get("elapsed_s", 0.0),
+            recorder_path=d.get("recorder_path"),
         )
 
 
@@ -122,11 +130,12 @@ def _worker_main(conn, fn, args, fault: Optional[str]) -> None:
         except Exception as send_exc:  # noqa: BLE001 - pipe already broken
             # The supervisor will settle this attempt as a crash; leave
             # the real error on stderr so the post-mortem has it.
-            print(
-                f"resilience worker: result pipe broken "
-                f"({type(send_exc).__name__}); original failure: "
-                f"{type(exc).__name__}: {exc}",
-                file=sys.stderr,
+            from repro.obs.live.slog import StructuredLogger
+
+            StructuredLogger(sys.stderr).error(
+                "resilience.result_pipe.broken",
+                pipe_error=type(send_exc).__name__,
+                failure=f"{type(exc).__name__}: {exc}",
             )
     finally:
         try:

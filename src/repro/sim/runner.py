@@ -112,6 +112,9 @@ class ExperimentRunner:
             supervisor lifecycle events the tracer sees (``job.attempt``
             / ``job.result`` / ``job.retry`` / ``job.failed``); used by
             :class:`~repro.obs.progress.SweepProgress`.
+        recorder_dir: optional directory for per-worker crash flight
+            recorders (fabric mode only); crash/timeout failure records
+            then carry a ``recorder_path`` post-mortem pointer.
     """
 
     def __init__(
@@ -131,6 +134,7 @@ class ExperimentRunner:
         fault_plan: Optional[FaultPlan] = None,
         tracer=NULL_TRACER,
         on_event=None,
+        recorder_dir=None,
     ) -> None:
         if n_workers < 1:
             raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -154,9 +158,16 @@ class ExperimentRunner:
         self.fault_plan = fault_plan
         self.tracer = tracer
         self.on_event = on_event
+        self.recorder_dir = recorder_dir
         self.results: Dict[ResultKey, SimResult] = {}
         self.failures: Dict[ResultKey, FailedRun] = {}
-        self.fabric_stats = None  # FabricStats after an n_jobs > 1 sweep
+        #: Live FabricStats during an n_jobs > 1 sweep (set before the
+        #: fleet starts, zeroed in place per sweep), so observers can
+        #: scrape mid-run.
+        self.fabric_stats = None
+        #: Live FleetStatus (aggregated worker heartbeats) during an
+        #: n_jobs > 1 sweep.
+        self.fleet = None
         self._journal: Optional[ResultJournal] = None
         self._resumed = False
 
@@ -273,7 +284,13 @@ class ExperimentRunner:
             ),
             on_result=on_result,
             on_failure=on_failure,
+            recorder_dir=self.recorder_dir,
         )
+        # Expose the live observability surfaces before the fleet
+        # starts: stats reset in place, so mid-sweep scrapes see
+        # current numbers through these references.
+        self.fabric_stats = executor.stats
+        self.fleet = executor.fleet
         outcome = executor.run(
             self.config,
             self.workloads,
@@ -284,7 +301,6 @@ class ExperimentRunner:
             # a fresh start here would wipe them.
             fresh=not self._resumed,
         )
-        self.fabric_stats = outcome.stats
         # The journal is the truth; events were only the live stream.
         for (workload, scheme_value), result in outcome.results.items():
             self.results[(workload, Scheme(scheme_value))] = result
