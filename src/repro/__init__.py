@@ -37,7 +37,7 @@ from repro.telemetry import (
 )
 from repro.workloads import BENCHMARKS, MIXES, get_benchmark
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "RRMConfig",

@@ -38,6 +38,10 @@ def format_table(
 
 
 def _fmt(value: object) -> str:
+    if value is None:
+        # Absent metrics (e.g. journals predating a field) read as a
+        # placeholder, not the word "None".
+        return "-"
     if isinstance(value, float):
         if value != value or value in (float("inf"), float("-inf")):
             return str(value)

@@ -46,6 +46,13 @@ Examples::
     repro-rrm top --address .repro-rrm.sock
     repro-rrm sweep --config tiny --jobs 4 --journal sweep.jsonl \\
         --metrics-out metrics.prom --flight-dir sweep.flight
+
+    # Hot-path microscope: where does the host time go?
+    repro-rrm profile run --config tiny --out prof.json --flamegraph prof.svg
+    repro-rrm profile report prof.json
+    repro-rrm profile diff before.json after.json --check
+    repro-rrm profile fetch --address .repro-rrm.sock --duration 2
+    repro-rrm sweep --config tiny --jobs 4 --profile sweep-prof.json
 """
 
 from __future__ import annotations
@@ -91,6 +98,7 @@ from repro.obs import (
     samples_from_entries,
     write_baseline,
 )
+from repro.profiling import DEFAULT_DIFF_TOLERANCE
 from repro.resilience import FaultPlan, RetryPolicy
 from repro.pcm.write_modes import WriteModeTable
 from repro.sim.config import SystemConfig
@@ -289,6 +297,16 @@ def cmd_sweep(args) -> int:
         SweepProgress(len(workloads) * len(schemes)) if args.progress else None
     )
     fabric = args.jobs > 1
+    if args.profile and not fabric:
+        # Serial sweep cells run inside supervisor subprocesses, where a
+        # sampler in this coordinator process would see nothing.
+        print(
+            "error: sweep --profile needs --jobs > 1 (fabric workers "
+            "sample themselves; serial cells run in subprocesses an "
+            "in-process sampler cannot see)",
+            file=sys.stderr,
+        )
+        return 2
     flight_dir = args.flight_dir
     if flight_dir is None and fabric and args.journal:
         # A journalled fabric sweep gets flight recorders by default so
@@ -306,6 +324,7 @@ def cmd_sweep(args) -> int:
         # On the fabric, workers append per-worker ledger shards that are
         # merged deterministically; serially the loop below appends.
         ledger_path=args.ledger if fabric else None,
+        profile_path=args.profile if fabric else None,
         fault_plan=fault_plan,
         recorder_dir=flight_dir if fabric else None,
         on_event=reporter.on_event if reporter is not None else None,
@@ -347,6 +366,12 @@ def cmd_sweep(args) -> int:
             f"{stats.respawns} respawns, "
             f"utilization {100 * stats.utilization:.0f}%, "
             f"wall {stats.wall_s:.1f}s",
+            file=sys.stderr,
+        )
+    if args.profile and Path(args.profile).exists():
+        print(
+            f"merged worker profile written to {args.profile} "
+            "('repro-rrm profile report' renders it)",
             file=sys.stderr,
         )
     if args.metrics_out:
@@ -493,7 +518,14 @@ def cmd_status(args) -> int:
         else:
             rows = []
             for sweep in sweeps:
+                # Journals written before the throughput metric existed
+                # (or a 0.0 placeholder) render as "-", never None.
                 rate = sweep.get("sim_events_per_sec")
+                has_rate = (
+                    isinstance(rate, (int, float))
+                    and not isinstance(rate, bool)
+                    and rate > 0
+                )
                 rows.append(
                     [
                         sweep.get("sweep", "?"),
@@ -501,7 +533,7 @@ def cmd_status(args) -> int:
                         f"{sweep.get('completed', 0)}/{sweep.get('jobs', 0)}",
                         sweep.get("failed", 0),
                         sweep.get("workers", 1),
-                        f"{rate:,.0f}" if isinstance(rate, float) and rate else "-",
+                        f"{rate:,.0f}" if has_rate else "-",
                         sweep.get("error") or sweep.get("journal", "-"),
                     ]
                 )
@@ -536,6 +568,117 @@ def cmd_top(args) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def cmd_profile_run(args) -> int:
+    """Profile one simulation: sampled stacks, deterministic event-cost
+    accounting, and a memory census. Profiling is observational — the
+    run's results are bit-identical to an unprofiled run; the profile
+    rides along as a side artifact.
+    """
+    from repro.profiling import Profile, format_profile, render_flamegraph
+
+    config = _config_from_args(args)
+    try:
+        scheme = scheme_from_name(args.scheme)
+        telemetry = TelemetryConfig(
+            profile=True,
+            trace=False,
+            profile_interval_s=parse_duration(args.interval),
+        )
+        system = System(config, args.workload, scheme, telemetry=telemetry)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.tracemalloc:
+        import tracemalloc
+
+        tracemalloc.start()
+    try:
+        result = system.run()
+    finally:
+        if args.tracemalloc:
+            import tracemalloc
+
+            tracemalloc.stop()
+    prof = Profile.from_json_dict(result.profile or {})
+    prof.save(args.out)
+    print(f"profile written to {args.out}", file=sys.stderr)
+    if args.flamegraph:
+        Path(args.flamegraph).write_text(
+            render_flamegraph(prof), encoding="utf-8"
+        )
+        print(f"flamegraph written to {args.flamegraph}", file=sys.stderr)
+    if args.folded:
+        Path(args.folded).write_text(
+            prof.folded_text() + "\n", encoding="utf-8"
+        )
+        print(f"folded stacks written to {args.folded}", file=sys.stderr)
+    if args.ledger:
+        entry = LedgerEntry.from_result(result, config, kind=KIND_RUN)
+        RunLedger(args.ledger).append(entry)
+        print(f"ledger entry appended to {args.ledger}", file=sys.stderr)
+    print(format_profile(prof, top=args.top))
+    return 0
+
+
+def cmd_profile_report(args) -> int:
+    """Render a saved profile artifact (text, flamegraph, folded)."""
+    from repro.profiling import format_profile, load_profile, render_flamegraph
+
+    try:
+        prof = load_profile(args.file)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_profile(prof, top=args.top))
+    if args.flamegraph:
+        Path(args.flamegraph).write_text(
+            render_flamegraph(prof), encoding="utf-8"
+        )
+        print(f"flamegraph written to {args.flamegraph}", file=sys.stderr)
+    if args.folded:
+        Path(args.folded).write_text(
+            prof.folded_text() + "\n", encoding="utf-8"
+        )
+        print(f"folded stacks written to {args.folded}", file=sys.stderr)
+    return 0
+
+
+def cmd_profile_diff(args) -> int:
+    """Compare two profile artifacts; --check turns drift into exit 1."""
+    from repro.profiling import diff_profiles, format_diff, load_profile
+
+    try:
+        before = load_profile(args.a)
+        after = load_profile(args.b)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_profiles(before, after)
+    print(format_diff(diff, tolerance=args.tolerance))
+    if args.check and not diff.within(args.tolerance):
+        return 1
+    return 0
+
+
+def cmd_profile_fetch(args) -> int:
+    """Sample a running 'serve' instance and report where its time goes."""
+    from repro.fabric import FabricClient
+    from repro.profiling import Profile, format_profile
+
+    client = FabricClient(args.address)
+    try:
+        payload = client.profile(args.duration)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    prof = Profile.from_json_dict(payload)
+    if args.out:
+        prof.save(args.out)
+        print(f"profile written to {args.out}", file=sys.stderr)
+    print(format_profile(prof, top=args.top))
+    return 0
 
 
 def cmd_sensitivity(args) -> int:
@@ -867,12 +1010,22 @@ def cmd_obs_dashboard(args) -> int:
             samples_from_entries(entries, last_n=args.last),
             seed=args.seed,
         )
+    flamegraph_svg = None
+    if args.profile:
+        from repro.profiling import load_profile, render_flamegraph
+
+        try:
+            flamegraph_svg = render_flamegraph(load_profile(args.profile))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     html_text = render_dashboard(
         entries,
         gate_report=gate_report,
         title=args.title,
         metrics=args.metrics or None,
         max_points=args.max_points,
+        flamegraph_svg=flamegraph_svg,
     )
     Path(args.out).write_text(html_text, encoding="utf-8")
     print(
@@ -992,6 +1145,14 @@ def build_parser() -> argparse.ArgumentParser:
         "counters and fleet aggregates after the sweep settles",
     )
     p_sweep.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help="sample every fabric worker's stacks and write the merged "
+        "profile artifact here (requires --jobs > 1; observational — "
+        "results stay bit-identical)",
+    )
+    p_sweep.add_argument(
         "--flight-dir",
         default=None,
         metavar="DIR",
@@ -1106,6 +1267,132 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one frame and exit (scriptable snapshot)",
     )
     p_top.set_defaults(func=cmd_top)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="hot-path microscope: sample a run's host stacks, account "
+        "event-dispatch cost, census live memory; report and diff the "
+        "resulting artifacts",
+    )
+    prof_sub = p_prof.add_subparsers(dest="profile_command", required=True)
+
+    p_prof_run = prof_sub.add_parser(
+        "run",
+        help="run one workload with the sampling profiler, event-cost "
+        "accounting and memory census on; write the profile artifact",
+    )
+    _add_common(p_prof_run)
+    p_prof_run.add_argument("--workload", default="GemsFDTD")
+    p_prof_run.add_argument("--scheme", default="rrm")
+    p_prof_run.add_argument(
+        "--interval",
+        default="5ms",
+        metavar="DURATION",
+        help="host-time sampling interval, e.g. 5ms, 500us (default: 5ms)",
+    )
+    p_prof_run.add_argument(
+        "--tracemalloc",
+        action="store_true",
+        help="also trace allocations with tracemalloc (slower; adds "
+        "per-file allocation tops to the memory census)",
+    )
+    p_prof_run.add_argument(
+        "--out",
+        default="profile.json",
+        metavar="FILE",
+        help="profile artifact to write (default: profile.json)",
+    )
+    p_prof_run.add_argument(
+        "--flamegraph",
+        default=None,
+        metavar="FILE",
+        help="also render a dependency-free SVG flamegraph",
+    )
+    p_prof_run.add_argument(
+        "--folded",
+        default=None,
+        metavar="FILE",
+        help="also write classic folded stacks (flamegraph.pl/speedscope)",
+    )
+    p_prof_run.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="append the run (with prof_*/mem_* metrics) to a run ledger",
+    )
+    p_prof_run.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="hottest functions / dispatch owners to list (default: 15)",
+    )
+    p_prof_run.set_defaults(func=cmd_profile_run)
+
+    p_prof_rep = prof_sub.add_parser(
+        "report", help="render a saved profile artifact"
+    )
+    p_prof_rep.add_argument("file", help="profile artifact (JSON)")
+    p_prof_rep.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="hottest functions to list (default: 15)",
+    )
+    p_prof_rep.add_argument(
+        "--flamegraph", default=None, metavar="FILE",
+        help="also render an SVG flamegraph",
+    )
+    p_prof_rep.add_argument(
+        "--folded", default=None, metavar="FILE",
+        help="also write classic folded stacks",
+    )
+    p_prof_rep.set_defaults(func=cmd_profile_report)
+
+    p_prof_diff = prof_sub.add_parser(
+        "diff",
+        help="compare two profile artifacts' self-time shares "
+        "(per subsystem and per function)",
+    )
+    p_prof_diff.add_argument("a", help="baseline profile artifact")
+    p_prof_diff.add_argument("b", help="candidate profile artifact")
+    p_prof_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_DIFF_TOLERANCE,
+        metavar="SHARE",
+        help="max per-subsystem self-share delta considered sampling "
+        f"noise (default: {DEFAULT_DIFF_TOLERANCE})",
+    )
+    p_prof_diff.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any subsystem's share moved beyond --tolerance",
+    )
+    p_prof_diff.set_defaults(func=cmd_profile_diff)
+
+    p_prof_fetch = prof_sub.add_parser(
+        "fetch",
+        help="sample a running 'serve' process for a few seconds and "
+        "report where its time goes",
+    )
+    p_prof_fetch.add_argument(
+        "--address", default=".repro-rrm.sock", help="server address"
+    )
+    p_prof_fetch.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="sampling window (default: 2.0, server-clamped to 60)",
+    )
+    p_prof_fetch.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also save the fetched profile artifact",
+    )
+    p_prof_fetch.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="hottest functions to list (default: 15)",
+    )
+    p_prof_fetch.set_defaults(func=cmd_profile_fetch)
 
     p_sens = sub.add_parser(
         "sensitivity", help="RRM sensitivity sweeps (paper Figs. 11-13)"
@@ -1402,6 +1689,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=60,
         metavar="N",
         help="sparkline history cap per metric (default: 60)",
+    )
+    p_dash.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help="embed this profile artifact's flamegraph in the dashboard",
     )
     p_dash.add_argument(
         "--title", default="repro-rrm performance observability"

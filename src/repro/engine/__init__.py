@@ -4,6 +4,11 @@ Time is a float in nanoseconds. Events are callbacks scheduled on a binary
 heap; ties break on insertion order so the simulation is deterministic.
 """
 
-from repro.engine.simulator import Event, Simulator
+from repro.engine.simulator import (
+    Event,
+    EventCostAccounting,
+    Simulator,
+    owner_label,
+)
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "EventCostAccounting", "Simulator", "owner_label"]

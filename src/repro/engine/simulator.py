@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import SimulationError
 
@@ -30,10 +30,75 @@ class Event:
     seq: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: ``module:qualname`` of the scheduling owner; populated only while
+    #: cost accounting is enabled (never consulted by the run loop's
+    #: ordering, so accounting cannot perturb the simulation).
+    owner: Optional[str] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         self.cancelled = True
+
+
+def owner_label(callback: Callable) -> str:
+    """``module:qualname`` identity of a callback for cost attribution.
+
+    Bound methods resolve through ``__func__`` so the label names the
+    defining class, not the instance. Objects with neither module nor
+    qualname (rare C callables) fall back to ``?``.
+    """
+    func = getattr(callback, "__func__", callback)
+    module = getattr(func, "__module__", None) or "?"
+    qual = getattr(func, "__qualname__", None) or getattr(
+        func, "__name__", "?"
+    )
+    return f"{module}:{qual}"
+
+
+class EventCostAccounting:
+    """Opt-in per-owner dispatch accounting for the run loop.
+
+    Two tables, one determinism contract:
+
+    - ``counts`` maps owner labels to callbacks dispatched — a pure
+      function of the simulated run, bit-stable across hosts, safe to
+      pin in committed benchmarks;
+    - ``host_ns`` maps owner labels to cumulative host time measured by
+      the *injected* clock (the engine itself never touches a wall
+      clock; sim-path rule RL001). With no clock, only counts accrue.
+
+    Accounting is observational: it wraps each dispatch but neither
+    reorders events nor touches simulation state, so profiled runs stay
+    bit-identical to unprofiled ones (asserted in tests).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock
+        self.counts: Dict[str, int] = {}
+        self.host_ns: Dict[str, float] = {}
+        self.dispatches_total = 0
+
+    def register_metrics(self, registry, prefix: str = "engine.cost") -> None:
+        """Publish accounting totals into a telemetry registry."""
+        registry.gauge(f"{prefix}.dispatches_total", lambda: self.dispatches_total)
+        registry.gauge(f"{prefix}.owners", lambda: len(self.counts))
+
+    def dispatch(self, event: Event) -> None:
+        """Run *event*'s callback, charging its owner."""
+        owner = event.owner or "?"
+        clock = self._clock
+        if clock is None:
+            event.callback()
+        else:
+            t0 = clock()
+            try:
+                event.callback()
+            finally:
+                self.host_ns[owner] = (
+                    self.host_ns.get(owner, 0.0) + (clock() - t0) * 1e9
+                )
+        self.counts[owner] = self.counts.get(owner, 0) + 1
+        self.dispatches_total += 1
 
 
 class Simulator:
@@ -54,6 +119,7 @@ class Simulator:
         self._events_cancelled = 0
         self._running = False
         self._stopped = False
+        self._accounting: Optional[EventCostAccounting] = None
 
     @property
     def now(self) -> float:
@@ -88,22 +154,59 @@ class Simulator:
         registry.gauge(f"{prefix}.events_cancelled", lambda: self._events_cancelled)
         registry.gauge(f"{prefix}.pending_events", lambda: self.pending_events)
 
-    def schedule_at(self, time: float, callback: EventCallback) -> Event:
-        """Schedule *callback* at absolute *time* (ns). Returns the event."""
+    def enable_cost_accounting(
+        self, clock: Optional[Callable[[], float]] = None
+    ) -> EventCostAccounting:
+        """Turn on per-owner dispatch accounting for this simulator.
+
+        Must be called before events of interest are scheduled — owner
+        labels are resolved at schedule time, so earlier events are
+        charged to ``?``. *clock* (injected; e.g. ``time.perf_counter``
+        passed by the caller) additionally enables host-time charging.
+        """
+        self._accounting = EventCostAccounting(clock=clock)
+        return self._accounting
+
+    @property
+    def cost_accounting(self) -> Optional[EventCostAccounting]:
+        return self._accounting
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: EventCallback,
+        *,
+        owner: Optional[str] = None,
+    ) -> Event:
+        """Schedule *callback* at absolute *time* (ns). Returns the event.
+
+        *owner* overrides the cost-accounting attribution label; by
+        default the label is derived from the callback itself (and only
+        when accounting is enabled — the default path stays allocation-
+        identical to the unprofiled engine).
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now {self._now}"
             )
         event = Event(time=time, seq=self._seq, callback=callback)
+        if self._accounting is not None:
+            event.owner = owner if owner is not None else owner_label(callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
 
-    def schedule_after(self, delay: float, callback: EventCallback) -> Event:
+    def schedule_after(
+        self,
+        delay: float,
+        callback: EventCallback,
+        *,
+        owner: Optional[str] = None,
+    ) -> Event:
         """Schedule *callback* after *delay* ns from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, owner=owner)
 
     def schedule_periodic(
         self,
@@ -122,15 +225,20 @@ class Simulator:
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
         first = self._now + period if start is None else start
+        # Attribute the whole periodic chain to the wrapped callback,
+        # not this engine-local closure.
+        chain_owner = (
+            owner_label(callback) if self._accounting is not None else None
+        )
 
         def tick() -> None:
             try:
                 callback()
             except StopIteration:
                 return
-            self.schedule_after(period, tick)
+            self.schedule_after(period, tick, owner=chain_owner)
 
-        return self.schedule_at(first, tick)
+        return self.schedule_at(first, tick, owner=chain_owner)
 
     def stop(self) -> None:
         """Stop the run loop after the current callback returns."""
@@ -149,6 +257,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed_this_run = 0
+        accounting = self._accounting
         try:
             while self._queue and not self._stopped:
                 event = self._queue[0]
@@ -162,7 +271,10 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
-                event.callback()
+                if accounting is None:
+                    event.callback()
+                else:
+                    accounting.dispatch(event)
                 self._events_processed += 1
                 processed_this_run += 1
         finally:

@@ -54,6 +54,19 @@ class FabricClient:
             channel.send({"op": protocol.OP_FLEET})
             return self._checked(channel.recv()).get("fleet", {})
 
+    def profile(self, duration_s: float = 2.0) -> dict:
+        """Sample the server process for *duration_s* host seconds.
+
+        Returns a :class:`~repro.profiling.Profile` JSON dict. The call
+        blocks for the full sampling window, so the client's timeout (if
+        any) must exceed it.
+        """
+        with self._open() as channel:
+            channel.send(
+                {"op": protocol.OP_PROFILE, "duration_s": duration_s}
+            )
+            return self._checked(channel.recv()).get("profile", {})
+
     def shutdown(self) -> None:
         with self._open() as channel:
             channel.send({"op": protocol.OP_SHUTDOWN})

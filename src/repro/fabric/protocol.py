@@ -18,12 +18,17 @@ Requests carry an ``op``::
     {"op": "watch", "sweep": "sweep-001"}
     {"op": "metrics"}
     {"op": "fleet"}
+    {"op": "profile", "duration_s": 2.0}
     {"op": "shutdown"}
 
 ``metrics`` returns ``{"ok": true, "text": "<Prometheus exposition>"}``
 — the same text the optional plain-HTTP ``/metrics`` endpoint serves.
 ``fleet`` returns ``{"ok": true, "fleet": {...FleetStatus.as_dict()...}}``
 (per-worker heartbeats with staleness annotations plus fleet totals).
+``profile`` samples the *server process itself* for ``duration_s`` host
+seconds (clamped to 60) and returns ``{"ok": true, "profile":
+{...Profile.to_json_dict()...}}`` — an operator's way to ask a live
+server where its time goes without attaching a debugger.
 
 Responses carry ``ok`` (and ``error`` when false); streamed events
 carry ``event`` — ``sweep.queued`` / ``sweep.started`` /
@@ -54,6 +59,7 @@ OP_STATUS = "status"
 OP_WATCH = "watch"
 OP_METRICS = "metrics"
 OP_FLEET = "fleet"
+OP_PROFILE = "profile"
 OP_SHUTDOWN = "shutdown"
 
 EVENT_SWEEP_QUEUED = "sweep.queued"

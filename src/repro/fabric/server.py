@@ -455,6 +455,18 @@ class FabricServer:
             channel.send({"ok": True, "text": self.render_metrics()})
         elif op == protocol.OP_FLEET:
             channel.send({"ok": True, "fleet": self.fleet_snapshot()})
+        elif op == protocol.OP_PROFILE:
+            # Sample this very process (accept/scheduler threads plus
+            # whatever the fabric coordinator is doing). profile_self
+            # owns the sampler thread — this module only forks workers.
+            from repro.profiling import profile_self
+
+            duration = request.get("duration_s", 2.0)
+            if not isinstance(duration, (int, float)) or duration != duration:
+                raise ProtocolError("profile duration_s must be a number")
+            prof = profile_self(float(duration))
+            prof.meta["source"] = "serve"
+            channel.send({"ok": True, "profile": prof.to_json_dict()})
         elif op == protocol.OP_WATCH:
             sweep_id = request.get("sweep")
             if not sweep_id:

@@ -37,7 +37,7 @@ SIM_PATH_PACKAGES = frozenset(
 #: journals, run ledgers) and must uphold lock discipline, atomic
 #: persistence, and loud failure — the concurrency/durability rules
 #: RL007–RL012 target exactly these layers.
-ORCH_PATH_PACKAGES = frozenset({"resilience", "fabric", "obs"})
+ORCH_PATH_PACKAGES = frozenset({"resilience", "fabric", "obs", "profiling"})
 
 _PRAGMA_RE = re.compile(
     r"#\s*repro-lint\s*:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"

@@ -58,15 +58,17 @@ def core_config(seed: int = CORE_SEED) -> SystemConfig:
 
 
 def core_telemetry() -> TelemetryConfig:
-    """The suite's telemetry: latency attribution on, tracing off.
+    """The suite's telemetry: attribution and host profiling on, tracing off.
 
-    Attribution is observational (a run with it is bit-identical to one
-    without), so turning it on here costs nothing in determinism while
-    making refresh-interference share (``attr_read_refresh_share``) a
-    pinned, gateable number like any other suite metric.
+    Attribution and profiling are both observational (a run with either
+    is bit-identical to one without), so turning them on here costs
+    nothing in determinism while making refresh-interference share
+    (``attr_read_refresh_share``), the deterministic per-subsystem
+    dispatch counts (``prof_dispatch_*``) and the advisory host-side
+    ``prof_*``/``mem_*`` numbers pinned suite metrics.
     """
     return TelemetryConfig(
-        attribution=True, trace=False, detailed_metrics=False
+        attribution=True, trace=False, detailed_metrics=False, profile=True
     )
 
 
@@ -131,16 +133,31 @@ def run_core_suite(
     return outcome
 
 
+def _is_host_dependent(metric: str) -> bool:
+    """Metrics that legitimately differ between two runs of the same code.
+
+    Wall time, derived throughput, sampling-profiler shares and memory
+    byte counts all move with the host; the deterministic ``sim_events``
+    count and the per-subsystem ``prof_dispatch_*`` dispatch counts (a
+    pure function of the simulated run) stay pinned.
+    """
+    if metric in ("wall_time_s", "sim_events_per_sec"):
+        return True
+    if metric.startswith("mem_"):
+        return True
+    if metric.startswith("prof_"):
+        return not metric.startswith("prof_dispatch_")
+    return False
+
+
 def write_bench_json(path, entries: List[LedgerEntry]) -> Path:
     """Write the repo-root suite summary (``BENCH_core.json``).
 
-    Host-dependent metrics (``wall_time_s`` and the derived
-    ``sim_events_per_sec`` throughput) are excluded so the committed
-    file only changes when the simulation itself changes; the
-    deterministic ``sim_events`` count stays in.
+    Host-dependent metrics (see :func:`_is_host_dependent`) are excluded
+    so the committed file only changes when the simulation itself
+    changes.
     """
     path = Path(path)
-    host_dependent = {"wall_time_s", "sim_events_per_sec"}
     payload = {
         "schema": BENCH_SCHEMA,
         "suite": SUITE_NAME,
@@ -152,7 +169,7 @@ def write_bench_json(path, entries: List[LedgerEntry]) -> Path:
                 "metrics": {
                     k: v
                     for k, v in sorted(entry.metrics.items())
-                    if k not in host_dependent
+                    if not _is_host_dependent(k)
                 },
             }
             for entry in entries

@@ -106,6 +106,44 @@ DEFAULT_RULES: Tuple[GateRule, ...] = (
     ),
     GateRule("*refresh*", "down", 0.05, "refresh overhead"),
     GateRule("row_hit_rate", "up", 0.05),
+    # Host-profiling metrics (repro.profiling) are watched, never
+    # gating: sampling shares jitter with the host and byte counts move
+    # with the interpreter. Specific needles first (first match wins).
+    GateRule(
+        "prof_engine_self_share",
+        "down",
+        0.25,
+        "engine share of host self-time; the 10x campaign's needle",
+        report_only=True,
+    ),
+    GateRule(
+        "mem_bytes_per_touched_region",
+        "down",
+        0.25,
+        "dense-state cost per touched region (ROADMAP item 5)",
+        report_only=True,
+    ),
+    GateRule(
+        "prof_*_self_share",
+        "down",
+        0.25,
+        "host-dependent sampling share; advisory",
+        report_only=True,
+    ),
+    GateRule(
+        "mem_*",
+        "down",
+        0.25,
+        "host-dependent memory census; advisory",
+        report_only=True,
+    ),
+    GateRule(
+        "prof_*",
+        "down",
+        0.50,
+        "host-profiling metric; advisory",
+        report_only=True,
+    ),
     GateRule(
         "sim_events_per_sec",
         "up",

@@ -150,8 +150,9 @@ class LedgerEntry:
         (``sim_events_per_sec``, gated report-only); runs with latency
         attribution enabled also contribute their flat ``attr_*``
         metrics (refresh-interference share and friends), making them
-        gateable like any other number. *extra_metrics* (e.g. a registry
-        snapshot's numeric values) are merged on top.
+        gateable like any other number; host-profiled runs contribute
+        ``prof_*``/``mem_*`` the same way. *extra_metrics* (e.g. a
+        registry snapshot's numeric values) are merged on top.
         """
         metrics: Dict[str, float] = {
             key: value
@@ -172,6 +173,17 @@ class LedgerEntry:
                 {
                     k: v
                     for k, v in (attribution.get("ledger_metrics") or {}).items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                }
+            )
+        # Host-profile metrics (prof_* / mem_*) ride the same way: flat,
+        # numeric, and judged only by report-only gate rules.
+        profile = getattr(result, "profile", None)
+        if profile:
+            metrics.update(
+                {
+                    k: v
+                    for k, v in (profile.get("ledger_metrics") or {}).items()
                     if isinstance(v, (int, float)) and not isinstance(v, bool)
                 }
             )

@@ -1,0 +1,176 @@
+"""Dependency-free SVG flamegraph from folded stacks.
+
+Same artifact philosophy as :mod:`repro.obs.dashboard`: one
+self-contained file (inline ``<style>``, no scripts, no external
+requests) that can be archived as a CI artifact and opened anywhere.
+Visual conventions match the dashboard's chart rules — a fixed,
+never-themed subsystem palette whose colors never carry meaning alone
+(the legend pairs every color with its subsystem word), recessive
+chrome, and ``<title>`` tooltips so exact counts are reachable without
+scripting.
+
+Layout is the classic icicle: root row on top, leaves at the bottom,
+frame width proportional to the samples that passed through it.
+Children render in sorted-label order, so the same profile always
+produces byte-identical SVG.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List
+
+from repro.profiling.profile import Profile, subsystem_of
+
+#: Fixed subsystem palette (never themed). Unlisted subsystems share the
+#: muted grey; the legend still names them, so color+word stays paired.
+SUBSYSTEM_COLORS: Dict[str, str] = {
+    "engine": "#2a78d6",
+    "memctrl": "#0ca30c",
+    "pcm": "#d03b3b",
+    "cache": "#12a594",
+    "core": "#7d66d3",
+    "cpu": "#ec835a",
+    "sim": "#fab219",
+    "workloads": "#b0851f",
+    "attribution": "#5b9f9b",
+    "telemetry": "#6a8f3c",
+    "profiling": "#a65fa0",
+    "fabric": "#4c6ef5",
+    "obs": "#3e8f68",
+    "other": "#898781",
+}
+_FALLBACK_COLOR = "#898781"
+
+_ROW_H = 18
+_PAD = 4
+_LEGEND_H = 22
+_HEADER_H = 34
+_MIN_W = 0.4  # px below which a frame is unresolvable and skipped
+
+_SVG_CSS = """
+text { font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; }
+.frame text { fill: #0b0b0b; pointer-events: none; }
+.hdr { fill: #52514e; font-size: 12px; }
+.bg { fill: #f9f9f7; }
+rect.f { stroke: #f9f9f7; stroke-width: 0.6; }
+"""
+
+
+def _build_tree(folded: Dict[str, int]) -> dict:
+    root: dict = {"name": "all", "value": 0, "children": {}}
+    for stack, count in sorted(folded.items()):
+        root["value"] += count
+        node = root
+        for label in stack.split(";"):
+            child = node["children"].setdefault(
+                label, {"name": label, "value": 0, "children": {}}
+            )
+            child["value"] += count
+            node = child
+    return root
+
+
+def _depth(node: dict) -> int:
+    if not node["children"]:
+        return 1
+    return 1 + max(_depth(child) for child in node["children"].values())
+
+
+def _short_label(name: str) -> str:
+    if name.startswith("repro."):
+        name = name[len("repro."):]
+    return name
+
+
+def _render_node(
+    node: dict,
+    x: float,
+    depth: int,
+    px_per_sample: float,
+    total: int,
+    out: List[str],
+) -> None:
+    width = node["value"] * px_per_sample
+    if width < _MIN_W:
+        return
+    y = _HEADER_H + depth * _ROW_H
+    color = (
+        SUBSYSTEM_COLORS.get(subsystem_of(node["name"]), _FALLBACK_COLOR)
+        if depth > 0
+        else "#c3c2b7"
+    )
+    label = _short_label(node["name"])
+    share = node["value"] / total if total else 0.0
+    tooltip = f"{label} — {node['value']:,} samples ({share:.1%})"
+    out.append(
+        f'<g class="frame"><rect class="f" x="{x:.2f}" y="{y}" '
+        f'width="{max(width, _MIN_W):.2f}" height="{_ROW_H - 1}" '
+        f'fill="{color}" fill-opacity="0.85">'
+        f"<title>{html.escape(tooltip)}</title></rect>"
+    )
+    if width > 40:
+        max_chars = max(1, int(width / 6.2))
+        text = label if len(label) <= max_chars else label[: max_chars - 1] + "…"
+        out.append(
+            f'<text x="{x + 3:.2f}" y="{y + _ROW_H - 6}">'
+            f"{html.escape(text)}</text>"
+        )
+    out.append("</g>")
+    child_x = x
+    for name in sorted(node["children"]):
+        child = node["children"][name]
+        _render_node(child, child_x, depth + 1, px_per_sample, total, out)
+        child_x += child["value"] * px_per_sample
+
+
+def render_flamegraph(
+    profile: Profile,
+    *,
+    width: int = 960,
+    title: str = "repro-rrm flamegraph",
+) -> str:
+    """Render *profile*'s folded stacks as a standalone SVG document."""
+    tree = _build_tree(profile.folded)
+    total = tree["value"]
+    depth = _depth(tree) if total else 1
+    used = sorted(
+        {subsystem_of(stack.rsplit(";", 1)[-1]) for stack in profile.folded}
+        | {
+            subsystem_of(label)
+            for stack in profile.folded
+            for label in stack.split(";")
+        }
+    )
+    height = _HEADER_H + depth * _ROW_H + _PAD + _LEGEND_H
+    out: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{html.escape(title)}">',
+        f"<style>{_SVG_CSS}</style>",
+        f'<rect class="bg" x="0" y="0" width="{width}" height="{height}"/>',
+        f'<text class="hdr" x="{_PAD}" y="16">{html.escape(title)} — '
+        f"{profile.retained:,} samples @ "
+        f"{profile.interval_s * 1000:.1f} ms</text>",
+    ]
+    if total:
+        px_per_sample = (width - 2 * _PAD) / total
+        _render_node(tree, float(_PAD), 0, px_per_sample, total, out)
+    else:
+        out.append(
+            f'<text class="hdr" x="{_PAD}" y="{_HEADER_H + 14}">'
+            "no samples recorded</text>"
+        )
+    legend_y = height - 8
+    x = float(_PAD)
+    for name in used:
+        color = SUBSYSTEM_COLORS.get(name, _FALLBACK_COLOR)
+        out.append(
+            f'<circle cx="{x + 4:.1f}" cy="{legend_y - 4}" r="4" '
+            f'fill="{color}"/>'
+            f'<text class="hdr" x="{x + 11:.1f}" y="{legend_y}">'
+            f"{html.escape(name)}</text>"
+        )
+        x += 18 + 6.5 * len(name)
+    out.append("</svg>")
+    return "\n".join(out) + "\n"

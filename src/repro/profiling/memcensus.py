@@ -1,0 +1,153 @@
+"""Memory census: bytes per subsystem over live ``System`` state.
+
+ROADMAP item 5 (sparse region state) needs a number before it needs a
+refactor: *how many bytes does the dense per-region/per-block state
+cost per region the workload actually touches?* This module answers
+with two independent instruments:
+
+- :func:`deep_sizeof` — a recursive ``sys.getsizeof`` walk over a live
+  object graph. The census walks named subsystem roots with one shared
+  visited-set, so shared objects are charged to exactly one owner
+  (first-owner-wins) and the per-subsystem bytes sum to the total.
+  Roots are walked in the mapping's insertion order: put the most
+  specific owners first, or cross-subsystem back-references (an RRM
+  holding its controller) would swallow their neighbours' state.
+- ``tracemalloc`` grouping — when the caller started tracing before the
+  ``System`` was built, allocation stats are grouped by the repro
+  subsystem of the allocating file, catching allocation churn the live
+  walk cannot see.
+
+The census never mutates the walked graph and runs after the simulation
+finishes, so profiled runs stay bit-identical to unprofiled ones.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+import types
+from typing import Dict, Optional, Set
+
+#: Types the walker never descends into: shared interpreter machinery
+#: whose "ownership" would be meaningless and whose graphs reach the
+#: whole process (modules pull in everything they import).
+_OPAQUE_TYPES = (
+    type,
+    types.ModuleType,
+    types.FunctionType,
+    types.BuiltinFunctionType,
+    types.MethodType,
+    types.CodeType,
+    types.FrameType,
+    types.GeneratorType,
+)
+
+
+def deep_sizeof(obj: object, seen: Optional[Set[int]] = None) -> int:
+    """Recursively sum ``sys.getsizeof`` over *obj*'s reachable graph.
+
+    *seen* carries visited object ids across calls; pass one shared set
+    to charge shared substructure to the first root that reaches it.
+    """
+    if seen is None:
+        seen = set()
+    total = 0
+    stack = [obj]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _OPAQUE_TYPES):
+            continue
+        node_id = id(node)
+        if node_id in seen:
+            continue
+        seen.add(node_id)
+        try:
+            total += sys.getsizeof(node)
+        except TypeError:
+            continue
+        if isinstance(node, dict):
+            stack.extend(node.keys())
+            stack.extend(node.values())
+        elif isinstance(node, (list, tuple, set, frozenset)):
+            stack.extend(node)
+        else:
+            node_dict = getattr(node, "__dict__", None)
+            if node_dict is not None:
+                stack.append(node_dict)
+            for slot in getattr(type(node), "__slots__", ()) or ():
+                if isinstance(slot, str) and hasattr(node, slot):
+                    stack.append(getattr(node, slot))
+    return total
+
+
+def _subsystem_of_path(path: str) -> str:
+    marker = "repro/"
+    idx = path.replace("\\", "/").rfind(marker)
+    if idx < 0:
+        return "other"
+    rest = path.replace("\\", "/")[idx + len(marker):]
+    head = rest.split("/", 1)[0]
+    return head[:-3] if head.endswith(".py") else head
+
+
+def _tracemalloc_by_subsystem(top: int) -> dict:
+    """Group current tracemalloc stats by allocating repro subsystem."""
+    snapshot = tracemalloc.take_snapshot()
+    stats = snapshot.statistics("filename")
+    by_subsystem: Dict[str, int] = {}
+    top_files = []
+    for stat in stats:
+        frame = stat.traceback[0]
+        bucket = _subsystem_of_path(frame.filename)
+        by_subsystem[bucket] = by_subsystem.get(bucket, 0) + stat.size
+        if len(top_files) < top:
+            top_files.append(
+                {
+                    "file": frame.filename,
+                    "bytes": stat.size,
+                    "allocations": stat.count,
+                }
+            )
+    return {
+        "by_subsystem": dict(sorted(by_subsystem.items())),
+        "top_files": top_files,
+        "traced_total_bytes": sum(s.size for s in stats),
+    }
+
+
+def take_census(
+    roots: Dict[str, object],
+    *,
+    touched_regions: int = 0,
+    tracemalloc_top: int = 10,
+) -> dict:
+    """Measure bytes per subsystem over the named *roots*.
+
+    Roots are walked in insertion order with a shared visited-set, so
+    the report is deterministic for a fixed object graph and shared
+    state is charged to the first root that reaches it. When
+    ``tracemalloc`` is already tracing, an allocation-site section is
+    included as well.
+    """
+    seen: Set[int] = set()
+    by_subsystem: Dict[str, int] = {}
+    for name, obj in roots.items():
+        if obj is None:
+            continue
+        by_subsystem[name] = deep_sizeof(obj, seen)
+    by_subsystem = dict(sorted(by_subsystem.items()))
+    total = sum(by_subsystem.values())
+    census = {
+        "by_subsystem": by_subsystem,
+        "total_bytes": total,
+        "touched_regions": touched_regions,
+        "bytes_per_touched_region": (
+            total / touched_regions if touched_regions else 0.0
+        ),
+        "tracemalloc": (
+            _tracemalloc_by_subsystem(tracemalloc_top)
+            if tracemalloc.is_tracing()
+            else None
+        ),
+    }
+    return census

@@ -1,0 +1,397 @@
+"""The ``Profile`` artifact: folded stacks, dispatch tables, census.
+
+One profiled run produces one :class:`Profile`. Its JSON form is the
+interchange format for everything downstream: ``repro-rrm profile
+report|diff``, the dashboard's "Where the time goes" section, the
+flamegraph renderer, and the fabric coordinator's deterministic merge
+of per-worker parts.
+
+Frame labels are ``module:qualname`` with the module path as Python
+reports it (``repro.engine.simulator:Simulator.run``). Subsystem
+resolution strips the ``repro.`` prefix and keeps the first package
+segment, so every frame lands in exactly one bucket: ``engine``,
+``memctrl``, ``pcm``, ``cache``, ``core``, ``cpu``, ``sim``, ... —
+or ``other`` for stdlib and third-party frames.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.utils.persist import save_json
+
+PROFILE_SCHEMA = 1
+
+#: Subsystem share below which a diff is sampling noise, not a change.
+#: Statistical profiles of the same code differ run-to-run by roughly
+#: ``1/sqrt(samples)`` per bucket; at the default 5 ms interval a
+#: multi-second run collects enough samples that 0.05 (five share
+#: points) comfortably covers the noise floor while still catching any
+#: real hot-path regression worth a look.
+DEFAULT_DIFF_TOLERANCE = 0.05
+
+_FOLD_SEP = ";"
+
+
+class ProfileError(ReproError):
+    """A profile artifact is missing, torn, or from a newer schema."""
+
+
+def subsystem_of(label: str) -> str:
+    """Bucket a ``module:qualname`` frame label into a repro subsystem."""
+    module = label.split(":", 1)[0]
+    if module == "repro":
+        return "sim"
+    if module.startswith("repro."):
+        return module.split(".", 2)[1]
+    return "other"
+
+
+def _merge_sum(
+    into: Dict[str, float], other: Dict[str, float]
+) -> Dict[str, float]:
+    for key, value in other.items():
+        into[key] = into.get(key, 0) + value
+    return into
+
+
+@dataclass
+class Profile:
+    """Everything one profiled run learned about the host process."""
+
+    interval_s: float = 0.0
+    duration_s: float = 0.0
+    #: Samples taken by the sampler (>= retained when the ring wrapped).
+    samples: int = 0
+    #: Samples still in the ring and present in ``folded``.
+    retained: int = 0
+    #: Folded stacks: ``root;child;leaf`` frame labels -> sample count.
+    folded: Dict[str, int] = field(default_factory=dict)
+    #: Deterministic engine accounting: owner label -> events dispatched.
+    dispatch_counts: Dict[str, int] = field(default_factory=dict)
+    #: Host nanoseconds spent inside each owner's callbacks.
+    dispatch_time_ns: Dict[str, float] = field(default_factory=dict)
+    #: Memory census (see :mod:`repro.profiling.memcensus`), if taken.
+    memory: Optional[dict] = None
+    #: Free-form provenance: workload, scheme, worker id, host note.
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- derived views --------------------------------------------------
+    def function_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-frame-label ``{"self": n, "total": n}`` sample counts.
+
+        ``self`` counts samples where the label is the leaf; ``total``
+        counts samples where it appears anywhere on the stack (each
+        label at most once per sample, so recursion does not inflate).
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for stack, count in self.folded.items():
+            labels = stack.split(_FOLD_SEP)
+            leaf = labels[-1]
+            for label in set(labels):
+                entry = stats.setdefault(label, {"self": 0, "total": 0})
+                entry["total"] += count
+            stats[leaf]["self"] += count
+        return stats
+
+    def subsystem_self(self) -> Dict[str, int]:
+        """Self-sample counts bucketed by subsystem of the leaf frame."""
+        out: Dict[str, int] = {}
+        for stack, count in self.folded.items():
+            leaf = stack.rsplit(_FOLD_SEP, 1)[-1]
+            bucket = subsystem_of(leaf)
+            out[bucket] = out.get(bucket, 0) + count
+        return out
+
+    def subsystem_shares(self) -> Dict[str, float]:
+        """``subsystem_self`` normalised to shares of retained samples."""
+        total = sum(self.subsystem_self().values())
+        if total == 0:
+            return {}
+        return {
+            name: count / total
+            for name, count in self.subsystem_self().items()
+        }
+
+    def top_functions(self, n: int = 10) -> List[Tuple[str, int, int]]:
+        """The *n* hottest frames as ``(label, self, total)``, by self."""
+        stats = self.function_stats()
+        ranked = sorted(
+            stats.items(),
+            key=lambda item: (-item[1]["self"], -item[1]["total"], item[0]),
+        )
+        return [
+            (label, entry["self"], entry["total"])
+            for label, entry in ranked[:n]
+        ]
+
+    # -- ledger integration ---------------------------------------------
+    def ledger_metrics(self) -> Dict[str, float]:
+        """Flat ``prof_*`` / ``mem_*`` metrics for run-ledger entries.
+
+        ``prof_dispatch_*`` counts are deterministic (a function of the
+        simulated run alone); everything else — sample shares, host
+        time, byte counts — is host-dependent and must stay excluded
+        from byte-identity comparisons (see obs.benchsuite).
+        """
+        out: Dict[str, float] = {
+            "prof_samples": float(self.samples),
+            "prof_dispatch_total": float(sum(self.dispatch_counts.values())),
+        }
+        by_subsystem: Dict[str, float] = {}
+        for owner, count in self.dispatch_counts.items():
+            bucket = subsystem_of(owner)
+            by_subsystem[bucket] = by_subsystem.get(bucket, 0.0) + count
+        for bucket in sorted(by_subsystem):
+            out[f"prof_dispatch_{bucket}"] = by_subsystem[bucket]
+        for bucket, share in sorted(self.subsystem_shares().items()):
+            out[f"prof_{bucket}_self_share"] = share
+        if self.memory:
+            for key, value in self.memory.get("by_subsystem", {}).items():
+                out[f"mem_bytes_{key}"] = float(value)
+            out["mem_bytes_total"] = float(self.memory.get("total_bytes", 0))
+            regions = self.memory.get("touched_regions", 0)
+            out["mem_touched_regions"] = float(regions)
+            if regions:
+                out["mem_bytes_per_touched_region"] = (
+                    float(self.memory.get("total_bytes", 0)) / regions
+                )
+        return out
+
+    # -- persistence -----------------------------------------------------
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "interval_s": self.interval_s,
+            "duration_s": self.duration_s,
+            "samples": self.samples,
+            "retained": self.retained,
+            "folded": dict(sorted(self.folded.items())),
+            "dispatch_counts": dict(sorted(self.dispatch_counts.items())),
+            "dispatch_time_ns": dict(sorted(self.dispatch_time_ns.items())),
+            "memory": self.memory,
+            "meta": self.meta,
+            "ledger_metrics": self.ledger_metrics(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, d: dict) -> "Profile":
+        schema = d.get("schema", 0)
+        if schema > PROFILE_SCHEMA:
+            raise ProfileError(
+                f"profile schema {schema} is newer than supported "
+                f"{PROFILE_SCHEMA}; upgrade the tool"
+            )
+        return cls(
+            interval_s=d.get("interval_s", 0.0),
+            duration_s=d.get("duration_s", 0.0),
+            samples=d.get("samples", 0),
+            retained=d.get("retained", 0),
+            folded={k: int(v) for k, v in d.get("folded", {}).items()},
+            dispatch_counts={
+                k: int(v) for k, v in d.get("dispatch_counts", {}).items()
+            },
+            dispatch_time_ns=dict(d.get("dispatch_time_ns", {})),
+            memory=d.get("memory"),
+            meta=dict(d.get("meta", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        save_json(path, self.to_json_dict())
+
+    def folded_text(self) -> str:
+        """Classic folded-stack text (``stack count`` per line) — the
+        format ``flamegraph.pl`` and speedscope both ingest."""
+        return "\n".join(
+            f"{stack} {count}"
+            for stack, count in sorted(self.folded.items())
+        )
+
+
+def load_profile(path: Union[str, Path]) -> Profile:
+    p = Path(path)
+    if not p.exists():
+        raise ProfileError(f"profile artifact not found: {p}")
+    try:
+        payload = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ProfileError(f"unreadable profile artifact {p}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProfileError(f"profile artifact {p} is not a JSON object")
+    return Profile.from_json_dict(payload)
+
+
+def merge_profiles(profiles: Iterable[Profile]) -> Profile:
+    """Deterministically merge worker profiles into one artifact.
+
+    Counts sum; duration takes the max (workers ran concurrently);
+    memory censuses don't merge (each worker walked its own process),
+    so the merged profile carries none. Merge order does not matter —
+    every map is key-summed and serialised sorted.
+    """
+    merged = Profile()
+    workers: List[object] = []
+    for prof in profiles:
+        merged.samples += prof.samples
+        merged.retained += prof.retained
+        merged.interval_s = merged.interval_s or prof.interval_s
+        merged.duration_s = max(merged.duration_s, prof.duration_s)
+        _merge_sum(merged.folded, prof.folded)  # type: ignore[arg-type]
+        _merge_sum(merged.dispatch_counts, prof.dispatch_counts)  # type: ignore[arg-type]
+        _merge_sum(merged.dispatch_time_ns, prof.dispatch_time_ns)
+        if prof.meta.get("worker") is not None:
+            workers.append(prof.meta["worker"])
+    if workers:
+        merged.meta["workers"] = sorted(workers, key=str)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class ProfileDiff:
+    """Per-subsystem and per-function self-share deltas (b minus a)."""
+
+    subsystem_deltas: Dict[str, float]
+    function_deltas: Dict[str, float]
+    samples_a: int
+    samples_b: int
+
+    @property
+    def max_subsystem_delta(self) -> float:
+        if not self.subsystem_deltas:
+            return 0.0
+        return max(abs(d) for d in self.subsystem_deltas.values())
+
+    def within(self, tolerance: float = DEFAULT_DIFF_TOLERANCE) -> bool:
+        return self.max_subsystem_delta <= tolerance
+
+
+def _self_shares(profile: Profile) -> Dict[str, float]:
+    stats = profile.function_stats()
+    total = sum(entry["self"] for entry in stats.values())
+    if total == 0:
+        return {}
+    return {label: entry["self"] / total for label, entry in stats.items()}
+
+
+def diff_profiles(a: Profile, b: Profile) -> ProfileDiff:
+    """Share deltas between two profiles, for every bucket in either."""
+    sub_a, sub_b = a.subsystem_shares(), b.subsystem_shares()
+    fn_a, fn_b = _self_shares(a), _self_shares(b)
+    return ProfileDiff(
+        subsystem_deltas={
+            key: sub_b.get(key, 0.0) - sub_a.get(key, 0.0)
+            for key in sorted(set(sub_a) | set(sub_b))
+        },
+        function_deltas={
+            key: fn_b.get(key, 0.0) - fn_a.get(key, 0.0)
+            for key in sorted(set(fn_a) | set(fn_b))
+        },
+        samples_a=a.retained,
+        samples_b=b.retained,
+    )
+
+
+# ---------------------------------------------------------------------------
+def _short(label: str, width: int = 60) -> str:
+    label = label.replace("repro.", "", 1) if label.startswith("repro.") else label
+    return label if len(label) <= width else "…" + label[-(width - 1):]
+
+
+def format_profile(profile: Profile, top: int = 15) -> str:
+    """Human-readable report: subsystems, hot functions, dispatch, RAM."""
+    lines: List[str] = []
+    lines.append(
+        f"profile: {profile.retained:,} samples retained "
+        f"({profile.samples:,} taken) @ {profile.interval_s * 1000:.1f} ms "
+        f"over {profile.duration_s:.2f} s host time"
+    )
+    shares = profile.subsystem_shares()
+    if shares:
+        lines.append("")
+        lines.append("self-time by subsystem:")
+        for name, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+            bar = "#" * int(round(share * 40))
+            lines.append(f"  {name:<12} {share * 100:5.1f}%  {bar}")
+    hot = profile.top_functions(top)
+    if hot:
+        lines.append("")
+        lines.append(f"hottest functions (top {len(hot)}, by self samples):")
+        lines.append(f"  {'self%':>6} {'total%':>7}  function")
+        denom = max(1, profile.retained)
+        for label, self_n, total_n in hot:
+            lines.append(
+                f"  {100 * self_n / denom:5.1f}% {100 * total_n / denom:6.1f}%"
+                f"  {_short(label)}"
+            )
+    if profile.dispatch_counts:
+        total_dispatch = sum(profile.dispatch_counts.values())
+        lines.append("")
+        lines.append(
+            f"event dispatch (deterministic, {total_dispatch:,} callbacks):"
+        )
+        ranked = sorted(
+            profile.dispatch_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        for owner, count in ranked[:top]:
+            host_ms = profile.dispatch_time_ns.get(owner, 0.0) / 1e6
+            lines.append(
+                f"  {count:>10,}  {host_ms:9.1f} ms  {_short(owner)}"
+            )
+    if profile.memory:
+        mem = profile.memory
+        lines.append("")
+        lines.append(
+            f"memory census: {mem.get('total_bytes', 0):,} bytes live"
+        )
+        by_sub = mem.get("by_subsystem", {})
+        for name, nbytes in sorted(by_sub.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<12} {nbytes:>12,} bytes")
+        regions = mem.get("touched_regions", 0)
+        if regions:
+            lines.append(
+                f"  {regions:,} touched regions -> "
+                f"{mem.get('total_bytes', 0) / regions:,.0f} bytes/region"
+            )
+    if not profile.folded and not profile.dispatch_counts:
+        lines.append("  (empty profile: no samples, no dispatch accounting)")
+    return "\n".join(lines)
+
+
+def format_diff(
+    diff: ProfileDiff,
+    tolerance: float = DEFAULT_DIFF_TOLERANCE,
+    top: int = 10,
+) -> str:
+    """Render a diff; buckets beyond *tolerance* are flagged with ``!``."""
+    lines = [
+        f"profile diff (a: {diff.samples_a:,} samples, "
+        f"b: {diff.samples_b:,} samples, tolerance {tolerance:.2f}):"
+    ]
+    if not diff.subsystem_deltas:
+        lines.append("  no subsystem samples on either side")
+    for name, delta in sorted(
+        diff.subsystem_deltas.items(), key=lambda kv: -abs(kv[1])
+    ):
+        flag = "!" if abs(delta) > tolerance else " "
+        lines.append(f"  {flag} {name:<12} {delta * 100:+6.1f}% self share")
+    movers = [
+        (label, delta)
+        for label, delta in diff.function_deltas.items()
+        if abs(delta) > tolerance / 2
+    ]
+    if movers:
+        lines.append("  biggest function movers:")
+        for label, delta in sorted(movers, key=lambda kv: -abs(kv[1]))[:top]:
+            lines.append(f"    {delta * 100:+6.1f}%  {_short(label)}")
+    verdict = (
+        "within tolerance"
+        if diff.within(tolerance)
+        else f"EXCEEDS tolerance (max {diff.max_subsystem_delta * 100:.1f}%)"
+    )
+    lines.append(f"  -> {verdict}")
+    return "\n".join(lines)

@@ -128,6 +128,13 @@ class SimResult:
     #: :meth:`as_dict` so attribution-on == attribution-off comparisons
     #: of simulation statistics stay meaningful.
     attribution: Optional[dict] = None
+    #: Host-profile artifact (repro.profiling Profile.to_json_dict) when
+    #: the run had ``TelemetryConfig(profile=True)``: folded stacks,
+    #: per-owner dispatch accounting, memory census and the flat
+    #: ``ledger_metrics`` map merged into run-ledger entries. Kept off
+    #: :meth:`as_dict` for the same reason as ``attribution`` — the flat
+    #: view is the profiling-on == profiling-off bit-identity surface.
+    profile: Optional[dict] = None
 
     @property
     def virtual_duration_s(self) -> float:

@@ -103,6 +103,11 @@ class ExperimentRunner:
             cells to per-worker shards which are merged deterministically
             when the sweep completes (ignored serially — the CLI appends
             serial sweeps itself).
+        profile_path: optional sampling-profile artifact (fabric mode
+            only): each worker samples its own stacks and the merged
+            profile lands here when the sweep completes. Ignored
+            serially — serial cells run inside supervisor subprocesses,
+            where an in-coordinator sampler would see nothing.
         fault_plan: optional fault-injection plan (tests / drills).
         tracer: optional wall-clock :class:`~repro.telemetry.Tracer`
             (``Tracer.wallclock()``); job lifecycle transitions and
@@ -131,6 +136,7 @@ class ExperimentRunner:
         journal_path=None,
         lease_s: float = 300.0,
         ledger_path=None,
+        profile_path=None,
         fault_plan: Optional[FaultPlan] = None,
         tracer=NULL_TRACER,
         on_event=None,
@@ -155,6 +161,7 @@ class ExperimentRunner:
         self.journal_path = journal_path
         self.lease_s = lease_s
         self.ledger_path = ledger_path
+        self.profile_path = profile_path
         self.fault_plan = fault_plan
         self.tracer = tracer
         self.on_event = on_event
@@ -277,6 +284,7 @@ class ExperimentRunner:
             fault_plan=self.fault_plan,
             seed=self.config.seed,
             ledger_path=self.ledger_path,
+            profile_path=self.profile_path,
             on_event=(
                 self._on_supervisor_event
                 if (self.tracer.enabled or self.on_event is not None)

@@ -25,6 +25,7 @@ from repro.pcm.drift import DriftModel, DriftParameters
 from repro.pcm.endurance import EnduranceModel, WearTracker
 from repro.pcm.energy import EnergyModel
 from repro.pcm.write_modes import WriteModeTable
+from repro.profiling import SamplingProfiler, take_census
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import EnergyReport, SimResult, WearReport
 from repro.sim.schemes import Scheme
@@ -72,6 +73,12 @@ class System:
         self.scheme = scheme
         self.sim = Simulator()
         self.telemetry = Telemetry(telemetry, clock=lambda: self.sim.now)
+        self._profiler: Optional[SamplingProfiler] = None
+        if telemetry is not None and telemetry.profile:
+            # Enabled before any event is scheduled so every owner
+            # resolves; the clock is passed as a reference — the engine
+            # itself never calls a wall clock it wasn't handed (RL001).
+            self.sim.enable_cost_accounting(clock=time.perf_counter)
 
         # --- PCM substrate ------------------------------------------------
         drift = DriftModel(DriftParameters(drift_scale=config.drift_scale))
@@ -167,6 +174,8 @@ class System:
             self.rrm.register_metrics(registry)
         if self.attribution is not None:
             self.attribution.register_metrics(registry)
+        if self.sim.cost_accounting is not None:
+            self.sim.cost_accounting.register_metrics(registry)
 
     # ------------------------------------------------------------------
     def _build_streams(self) -> List:
@@ -174,6 +183,7 @@ class System:
         profiles = workload_profiles(self.workload, config.n_cores)
         core_window = config.memory.n_blocks // config.n_cores
         streams = []
+        self._footprint_regions = 0
         for core_id, profile in enumerate(profiles):
             scaled = profile.scaled_footprint(config.footprint_scale)
             footprint_blocks = scaled.traffic.footprint_regions * BLOCKS_PER_REGION
@@ -187,6 +197,9 @@ class System:
                 base_block=core_id * core_window,
                 seed=config.seed * 1013 + core_id,
             )
+            # Touched-region denominator for the memory census: the
+            # regions this workload's footprint actually visits.
+            self._footprint_regions += scaled.traffic.footprint_regions
             streams.append(iter(generator))
         return streams
 
@@ -240,7 +253,18 @@ class System:
             self.rrm.start()
         self.multicore.start()
         duration_ns = s_to_ns(self.config.duration_s)
-        self.sim.run(until=duration_ns, max_events=max_events)
+        if tcfg is not None and tcfg.profile:
+            self._profiler = SamplingProfiler(
+                interval_s=tcfg.profile_interval_s
+            )
+            self._profiler.register_metrics(self.telemetry.registry)
+        if self._profiler is not None:
+            # Context manager: the sampler thread is joined even when a
+            # model callback raises mid-run.
+            with self._profiler:
+                self.sim.run(until=duration_ns, max_events=max_events)
+        else:
+            self.sim.run(until=duration_ns, max_events=max_events)
 
         if telemetry.enabled:
             telemetry.tracer.complete(
@@ -311,10 +335,51 @@ class System:
                 "ledger_metrics": report.ledger_metrics(),
             }
 
+        if self._profiler is not None:
+            # Same contract as attribution: the profile rides on its own
+            # side-field and as_dict() stays the bit-identity surface.
+            result.profile = self._build_profile(wall_time_s)
+
         result.wear = self._wear_report(snap)
         result.energy = self._energy_report(snap, result.wear)
         result.compute_lifetime(self.endurance)
         return result
+
+    # ------------------------------------------------------------------
+    def _build_profile(self, wall_time_s: float) -> dict:
+        """Assemble the run's host-profile artifact (sampler + engine
+        accounting + memory census)."""
+        assert self._profiler is not None
+        prof = self._profiler.build_profile()
+        accounting = self.sim.cost_accounting
+        if accounting is not None:
+            prof.dispatch_counts = dict(accounting.counts)
+            prof.dispatch_time_ns = dict(accounting.host_ns)
+        # Most specific owners first: back-references (RRM -> controller,
+        # controller -> device) must not swallow their neighbours. The
+        # engine leads because every subsystem back-references the sim,
+        # while the engine reaches others only through callbacks, which
+        # the walker treats as opaque — so the event queue is charged to
+        # the engine and nothing else is.
+        roots = {
+            "engine": self.sim,
+            "pcm": (self.device, self.modes, self.wear, self.energy),
+            "memctrl": self.controller,
+            "core": self.rrm,
+            "cpu": self.multicore,
+            "attribution": self.attribution,
+            "telemetry": self.telemetry,
+        }
+        prof.memory = take_census(
+            roots, touched_regions=self._footprint_regions
+        )
+        prof.meta = {
+            "workload": self.workload,
+            "scheme": self.scheme.value,
+            "duration_s": self.config.duration_s,
+            "wall_time_s": wall_time_s,
+        }
+        return prof.to_json_dict()
 
     def _wear_report(self, snap) -> WearReport:
         """Wear rates on the paper's timescale (see metrics module docs)."""

@@ -99,6 +99,12 @@ class TelemetryConfig:
         attribution: Build per-request latency anatomies
             (:mod:`repro.attribution`). Observational only — simulation
             statistics are bit-identical either way.
+        profile: Host-side profiling (:mod:`repro.profiling`): sampling
+            CPU profiler around the run, deterministic event-cost
+            accounting on the engine, and a post-run memory census.
+            Observational only — the profiled run's ``as_dict()`` is
+            bit-identical to an unprofiled one.
+        profile_interval_s: Host-time sampling period of the profiler.
     """
 
     mode: str = "full"
@@ -108,6 +114,8 @@ class TelemetryConfig:
     detailed_metrics: bool = True
     trace: bool = True
     attribution: bool = False
+    profile: bool = False
+    profile_interval_s: float = 0.005
 
     def __post_init__(self) -> None:
         if self.mode not in TRACE_MODES:
@@ -120,6 +128,8 @@ class TelemetryConfig:
             raise ConfigError("sample_every must be positive")
         if self.metrics_interval_s is not None and self.metrics_interval_s <= 0:
             raise ConfigError("metrics_interval_s must be positive")
+        if self.profile_interval_s <= 0:
+            raise ConfigError("profile_interval_s must be positive")
 
 
 class Telemetry:

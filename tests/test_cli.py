@@ -350,3 +350,80 @@ class TestLintCommand:
         )
         assert code == 0
         assert "1 baselined" in capsys.readouterr().out
+
+
+class TestProfileCommands:
+    """The `profile` group plus the fabric-only `sweep --profile` guard."""
+
+    def test_parser_profile_run_defaults(self):
+        args = build_parser().parse_args(["profile", "run"])
+        assert args.profile_command == "run"
+        assert args.workload == "GemsFDTD"
+        assert args.scheme == "rrm"
+        assert args.interval == "5ms"
+        assert args.out == "profile.json"
+        assert not args.tracemalloc
+
+    def test_parser_profile_diff_defaults(self):
+        from repro.profiling import DEFAULT_DIFF_TOLERANCE
+
+        args = build_parser().parse_args(["profile", "diff", "a.json", "b.json"])
+        assert args.a == "a.json"
+        assert args.b == "b.json"
+        assert args.tolerance == DEFAULT_DIFF_TOLERANCE
+        assert not args.check
+
+    def test_parser_profile_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])
+
+    def test_profile_run_report_diff_round_trip(self, capsys, tmp_path):
+        out = tmp_path / "prof.json"
+        svg = tmp_path / "flame.svg"
+        folded = tmp_path / "stacks.folded"
+        code = main(
+            ["profile", "run", "--workload", "hmmer", "--config", "tiny",
+             "--duration", "0.01", "--seed", "3",
+             "--out", str(out), "--flamegraph", str(svg),
+             "--folded", str(folded)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "event dispatch" in captured.out
+        assert out.exists()
+        assert svg.read_text().startswith("<svg")
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == 1
+        assert payload["dispatch_counts"]
+
+        assert main(["profile", "report", str(out)]) == 0
+        assert "event dispatch" in capsys.readouterr().out
+
+        code = main(["profile", "diff", str(out), str(out), "--check"])
+        assert code == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_profile_report_missing_file_exit_2(self, capsys, tmp_path):
+        code = main(["profile", "report", str(tmp_path / "absent.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_profile_fetch_dead_socket_exit_2(self, capsys, tmp_path):
+        code = main(
+            ["profile", "fetch", "--address", str(tmp_path / "no.sock")]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_serial_sweep_profile_guard(self, capsys, tmp_path):
+        code = main(
+            ["sweep", "--workloads", "hmmer", "--schemes", "rrm",
+             "--config", "tiny", "--duration", "0.01",
+             "--profile", str(tmp_path / "p.json")]
+        )
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err

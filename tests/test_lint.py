@@ -82,7 +82,9 @@ class TestRegistry:
         }
 
     def test_orch_path_packages_match_issue_contract(self):
-        assert ORCH_PATH_PACKAGES == {"resilience", "fabric", "obs"}
+        assert ORCH_PATH_PACKAGES == {
+            "resilience", "fabric", "obs", "profiling",
+        }
         assert not (ORCH_PATH_PACKAGES & SIM_PATH_PACKAGES)
 
     def test_orch_path_detection(self):
